@@ -1,0 +1,239 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config collects the simulation options the facade accepts. Zero values
+// select the Hagerup defaults (exponential µ = 1 s, h = 0.5 s, seed 1).
+type Config struct {
+	work       workload.Workload
+	h          float64
+	hSet       bool
+	seed       uint64
+	speeds     []float64
+	startTimes []float64
+	minChunk   int64
+	chunk      int64
+	first      int64
+	last       int64
+	alpha      float64
+	weights    []float64
+	hDynamics  bool
+	msgCost    float64
+}
+
+// Option customizes a simulation.
+type Option func(*Config)
+
+// WithExponential selects i.i.d. exponential task times with mean mu
+// (the BOLD publication's workload).
+func WithExponential(mu float64) Option {
+	return func(c *Config) { c.work = workload.NewExponential(mu) }
+}
+
+// WithConstant selects constant task times of c seconds (the TSS
+// publication's workload).
+func WithConstant(taskTime float64) Option {
+	return func(c *Config) { c.work = workload.NewConstant(taskTime) }
+}
+
+// WithUniform selects i.i.d. uniform task times in [lo, hi).
+func WithUniform(lo, hi float64) Option {
+	return func(c *Config) { c.work = workload.NewUniformRandom(lo, hi) }
+}
+
+// WithIncreasing selects task times rising linearly from first to last
+// over the n tasks of the simulation.
+func WithIncreasing(first, last float64, n int64) Option {
+	return func(c *Config) { c.work = workload.NewIncreasing(first, last, n) }
+}
+
+// WithWorkload installs any workload implementation directly.
+func WithWorkload(w workload.Workload) Option {
+	return func(c *Config) { c.work = w }
+}
+
+// WithOverhead sets the scheduling overhead h charged per scheduling
+// operation in the wasted-time metric (paper §III-B).
+func WithOverhead(h float64) Option {
+	return func(c *Config) { c.h = h; c.hSet = true }
+}
+
+// WithOverheadInDynamics additionally charges h inside the master's
+// service loop (ablation A1), serializing concurrent requests.
+func WithOverheadInDynamics() Option {
+	return func(c *Config) { c.hDynamics = true }
+}
+
+// WithMessageCost adds a fixed network cost per scheduling operation
+// (ablation A3).
+func WithMessageCost(seconds float64) Option {
+	return func(c *Config) { c.msgCost = seconds }
+}
+
+// WithSeed selects the rand48 stream; equal seeds reproduce runs exactly.
+func WithSeed(seed uint64) Option {
+	return func(c *Config) { c.seed = seed }
+}
+
+// WithSpeeds sets relative PE speeds (heterogeneous systems).
+func WithSpeeds(speeds []float64) Option {
+	return func(c *Config) { c.speeds = speeds }
+}
+
+// WithStartTimes sets uneven PE start times (the scenario GSS and TSS
+// were designed for).
+func WithStartTimes(starts []float64) Option {
+	return func(c *Config) { c.startTimes = starts }
+}
+
+// WithMinChunk sets GSS(k)'s minimum chunk size k.
+func WithMinChunk(k int64) Option {
+	return func(c *Config) { c.minChunk = k }
+}
+
+// WithChunk sets CSS(k)'s fixed chunk size k.
+func WithChunk(k int64) Option {
+	return func(c *Config) { c.chunk = k }
+}
+
+// WithTSSBounds sets TSS's first and last chunk sizes.
+func WithTSSBounds(first, last int64) Option {
+	return func(c *Config) { c.first = first; c.last = last }
+}
+
+// WithAlpha sets TAP's confidence factor α.
+func WithAlpha(alpha float64) Option {
+	return func(c *Config) { c.alpha = alpha }
+}
+
+// WithWeights sets the fixed PE weights of WF (and the initial weights of
+// the AWF family).
+func WithWeights(weights []float64) Option {
+	return func(c *Config) { c.weights = weights }
+}
+
+// Result reports one simulated loop execution.
+type Result struct {
+	Makespan   float64   // parallel completion time, seconds
+	AvgWasted  float64   // average wasted time (paper §III-B)
+	Speedup    float64   // sequential time over makespan
+	SchedOps   int64     // number of scheduling operations
+	Compute    []float64 // per-PE computing time
+	Wasted     []float64 // per-PE wasted time
+	TasksPerPE []int64
+}
+
+// Techniques returns the names accepted by the technique parameter of
+// this package's functions.
+func Techniques() []string { return sched.Names() }
+
+func buildConfig(n int64, opts []Option) Config {
+	c := Config{seed: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.work == nil {
+		c.work = workload.NewExponential(1)
+	}
+	if !c.hSet {
+		c.h = 0.5
+	}
+	_ = n
+	return c
+}
+
+// Simulate executes one master–worker loop execution of n tasks on p PEs
+// under the named DLS technique and returns its timing results.
+func Simulate(technique string, n int64, p int, opts ...Option) (*Result, error) {
+	c := buildConfig(n, opts)
+	s, err := sched.New(technique, sched.Params{
+		N: n, P: p,
+		H: c.h, Mu: c.work.Mean(), Sigma: c.work.Std(),
+		MinChunk: c.minChunk, Chunk: c.chunk,
+		First: c.first, Last: c.last,
+		Alpha: c.alpha, Weights: c.weights,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Config{
+		P:              p,
+		Sched:          s,
+		Work:           c.work,
+		RNG:            rng.FromState(rng.Mix64(c.seed)),
+		Speeds:         c.speeds,
+		StartTimes:     c.startTimes,
+		H:              c.h,
+		HInDynamics:    c.hDynamics,
+		PerMessageCost: c.msgCost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	seq := workload.Total(c.work, n)
+	out := &Result{
+		Makespan:   res.Makespan,
+		AvgWasted:  metrics.AverageWasted(res.Makespan, res.Compute, res.SchedOps, c.h),
+		SchedOps:   res.SchedOps,
+		Compute:    res.Compute,
+		Wasted:     metrics.PerWorkerWasted(res.Makespan, res.Compute, res.OpsPerWorker, c.h),
+		TasksPerPE: res.TasksPerWorker,
+	}
+	if res.Makespan > 0 {
+		out.Speedup = seq / res.Makespan
+	}
+	return out, nil
+}
+
+// WastedTime returns the average wasted time of a single simulated run —
+// the quantity of the paper's Figures 5–8.
+func WastedTime(technique string, n int64, p int, opts ...Option) (float64, error) {
+	res, err := Simulate(technique, n, p, opts...)
+	if err != nil {
+		return 0, err
+	}
+	return res.AvgWasted, nil
+}
+
+// MeanWastedTime averages the wasted time over the given number of
+// independent runs (the paper uses 1000), deriving one rand48 stream per
+// run from the configured seed.
+func MeanWastedTime(technique string, n int64, p int, runs int, opts ...Option) (float64, error) {
+	if runs <= 0 {
+		return 0, fmt.Errorf("repro: runs must be positive, got %d", runs)
+	}
+	c := buildConfig(n, opts)
+	var sum float64
+	for r := 0; r < runs; r++ {
+		perRun := append([]Option(nil), opts...)
+		perRun = append(perRun, WithSeed(rng.RunSeed(c.seed, r)))
+		v, err := WastedTime(technique, n, p, perRun...)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(runs), nil
+}
+
+// Compare runs every named technique once under identical options and
+// returns technique → average wasted time.
+func Compare(techniques []string, n int64, p int, opts ...Option) (map[string]float64, error) {
+	out := make(map[string]float64, len(techniques))
+	for _, t := range techniques {
+		v, err := WastedTime(t, n, p, opts...)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateDefaults(t *testing.T) {
+	res, err := Simulate("FAC2", 1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || res.AvgWasted <= 0 || res.SchedOps <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	var tasks int64
+	for _, k := range res.TasksPerPE {
+		tasks += k
+	}
+	if tasks != 1024 {
+		t.Fatalf("tasks = %d", tasks)
+	}
+	if len(res.Compute) != 8 || len(res.Wasted) != 8 {
+		t.Fatalf("per-PE slices wrong: %d %d", len(res.Compute), len(res.Wasted))
+	}
+}
+
+func TestSimulateUnknownTechnique(t *testing.T) {
+	if _, err := Simulate("LIFO", 10, 2); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+}
+
+func TestSimulateDeterministicSeed(t *testing.T) {
+	a, err := Simulate("GSS", 4096, 16, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Simulate("GSS", 4096, 16, WithSeed(9))
+	if a.Makespan != b.Makespan {
+		t.Fatal("same seed diverged")
+	}
+	c, _ := Simulate("GSS", 4096, 16, WithSeed(10))
+	if a.Makespan == c.Makespan {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestSimulateConstantSpeedup(t *testing.T) {
+	res, err := Simulate("STAT", 1000, 10, WithConstant(0.01), WithOverhead(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Speedup-10) > 1e-9 {
+		t.Fatalf("speedup = %v, want 10", res.Speedup)
+	}
+	if res.AvgWasted != 0 {
+		t.Fatalf("wasted = %v, want 0", res.AvgWasted)
+	}
+}
+
+func TestWastedTimeSSOverheadTerm(t *testing.T) {
+	// SS with constant workload and h=0.5: wasted = h·n/p exactly
+	// (perfect balance, zero idle when p divides n).
+	v, err := WastedTime("SS", 1000, 10, WithConstant(0.01), WithOverhead(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-50) > 1e-9 {
+		t.Fatalf("SS wasted = %v, want 50", v)
+	}
+}
+
+func TestMeanWastedTime(t *testing.T) {
+	v, err := MeanWastedTime("FAC2", 1024, 8, 20, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 || v > 200 {
+		t.Fatalf("mean wasted = %v", v)
+	}
+	if _, err := MeanWastedTime("FAC2", 1024, 8, 0); err == nil {
+		t.Fatal("runs=0 accepted")
+	}
+	// Determinism of the run-seed derivation.
+	v2, _ := MeanWastedTime("FAC2", 1024, 8, 20, WithSeed(3))
+	if v != v2 {
+		t.Fatal("MeanWastedTime not deterministic")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	res, err := Compare([]string{"STAT", "SS", "BOLD"}, 8192, 8, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %v", res)
+	}
+	// SS pays h·n/p = 512; BOLD must beat both naive approaches here.
+	if !(res["BOLD"] < res["SS"]) || !(res["BOLD"] < res["STAT"]) {
+		t.Fatalf("ordering wrong: %v", res)
+	}
+	if _, err := Compare([]string{"NOPE"}, 10, 2); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	// GSS(80): no chunk below 80 except the final remainder → far fewer
+	// ops than GSS(1).
+	a, err := Simulate("GSS", 100000, 8, WithConstant(0.001), WithMinChunk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate("GSS", 100000, 8, WithConstant(0.001), WithMinChunk(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SchedOps >= a.SchedOps {
+		t.Fatalf("GSS(80) ops %d >= GSS(1) ops %d", b.SchedOps, a.SchedOps)
+	}
+	// Heterogeneous speeds shift work.
+	h, err := Simulate("SS", 10000, 2, WithConstant(0.001), WithSpeeds([]float64{3, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TasksPerPE[0] < 2*h.TasksPerPE[1] {
+		t.Fatalf("fast PE tasks = %v", h.TasksPerPE)
+	}
+	// Start skew matters to static chunking.
+	s, err := Simulate("STAT", 1000, 4, WithConstant(0.01), WithStartTimes([]float64{0, 0, 0, 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan < 5 {
+		t.Fatalf("makespan %v ignores start skew", s.Makespan)
+	}
+}
+
+func TestTechniquesList(t *testing.T) {
+	names := Techniques()
+	if len(names) != 15 {
+		t.Fatalf("Techniques() = %v", names)
+	}
+	for _, name := range names {
+		if _, err := Simulate(name, 512, 4); err != nil {
+			t.Errorf("Simulate(%s): %v", name, err)
+		}
+	}
+}
+
+func TestWithTSSBoundsAndAlpha(t *testing.T) {
+	res, err := Simulate("TSS", 1000, 4, WithConstant(0.01), WithTSSBounds(50, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchedOps == 0 {
+		t.Fatal("no ops")
+	}
+	if _, err := Simulate("TAP", 1000, 4, WithAlpha(2.0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate("WF", 1000, 2, WithWeights([]float64{1, 3})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithOverheadInDynamics(t *testing.T) {
+	plain, err := Simulate("SS", 500, 8, WithConstant(0.001), WithOverhead(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := Simulate("SS", 500, 8, WithConstant(0.001), WithOverhead(0.01), WithOverheadInDynamics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Makespan <= plain.Makespan {
+		t.Fatalf("dynamics makespan %v <= plain %v", dyn.Makespan, plain.Makespan)
+	}
+}

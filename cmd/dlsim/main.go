@@ -1,0 +1,174 @@
+// Command dlsim runs a single dynamic-loop-scheduling simulation and
+// prints its timing results — the smallest useful entry point into the
+// library (paper Figure 2's information model maps directly onto the
+// flags).
+//
+// Examples:
+//
+//	dlsim -tech FAC2 -n 8192 -p 64                      # Hagerup defaults
+//	dlsim -tech TSS -n 100000 -p 72 -dist constant -p1 110e-6
+//	dlsim -tech GSS -n 10000 -p 16 -min-chunk 5 -per-run 10
+//	dlsim -tech WF -n 4096 -p 4 -weights 1,1,2,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ascii"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlsim: ")
+
+	var (
+		tech     = flag.String("tech", "FAC2", "DLS technique: "+strings.Join(sched.Names(), ", "))
+		n        = flag.Int64("n", 1024, "number of tasks")
+		p        = flag.Int("p", 8, "number of PEs")
+		dist     = flag.String("dist", "exponential", "workload: constant, uniform, increasing, decreasing, exponential, normal, gamma, bimodal")
+		p1       = flag.Float64("p1", 1, "first workload parameter (see internal/workload.Spec)")
+		p2       = flag.Float64("p2", 0, "second workload parameter")
+		p3       = flag.Float64("p3", 0, "third workload parameter")
+		h        = flag.Float64("h", 0.5, "scheduling overhead per operation, seconds")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		runs     = flag.Int("per-run", 1, "number of runs (mean over runs is reported)")
+		minChunk = flag.Int64("min-chunk", 0, "GSS(k): minimum chunk size")
+		chunk    = flag.Int64("chunk", 0, "CSS(k): fixed chunk size")
+		first    = flag.Int64("first", 0, "TSS: first chunk size")
+		last     = flag.Int64("last", 0, "TSS: last chunk size")
+		alpha    = flag.Float64("alpha", 0, "TAP: confidence factor")
+		weights  = flag.String("weights", "", "comma-separated PE weights (WF/AWF)")
+		hDyn     = flag.Bool("h-in-dynamics", false, "charge h inside the master loop (ablation A1)")
+		msgCost  = flag.Float64("msg-cost", 0, "fixed network cost per scheduling op, seconds (ablation A3)")
+		verbose  = flag.Bool("v", false, "print per-PE breakdown")
+		traceOut = flag.String("trace", "", "write a chunk-event trace of the last run to this CSV file")
+		replayIn = flag.String("replay", "", "replay per-task times extracted from this trace CSV (overrides -dist)")
+	)
+	flag.Parse()
+
+	var work workload.Workload
+	if *replayIn != "" {
+		f, err := os.Open(*replayIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		if tasks := tr.Tasks(); tasks < *n {
+			log.Printf("trace covers %d tasks; reducing -n from %d", tasks, *n)
+			*n = tasks
+		}
+		explicit, err := workload.NewExplicit(tr.PerTaskTimes(*n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		work = explicit
+	} else {
+		spec := workload.Spec{Kind: *dist, P1: *p1, P2: *p2, P3: *p3, N: *n}
+		w, err := spec.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		work = w
+	}
+
+	var ws []float64
+	if *weights != "" {
+		for _, f := range strings.Split(*weights, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				log.Fatalf("bad weight %q: %v", f, err)
+			}
+			ws = append(ws, v)
+		}
+	}
+
+	var wasted, makespans, opsTotal float64
+	var lastRes *sim.Result
+	recorder := trace.NewRecorder()
+	for r := 0; r < *runs; r++ {
+		s, err := sched.New(*tech, sched.Params{
+			N: *n, P: *p, H: *h, Mu: work.Mean(), Sigma: work.Std(),
+			MinChunk: *minChunk, Chunk: *chunk, First: *first, Last: *last,
+			Alpha: *alpha, Weights: ws,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := sim.Config{
+			P: *p, Sched: s, Work: work,
+			RNG:            rng.StreamFor(*seed, r),
+			H:              *h,
+			HInDynamics:    *hDyn,
+			PerMessageCost: *msgCost,
+		}
+		if *traceOut != "" && r == *runs-1 {
+			recorder = trace.NewRecorder()
+			cfg.Observe = recorder.Record
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wasted += metrics.AverageWasted(res.Makespan, res.Compute, res.SchedOps, *h)
+		makespans += res.Makespan
+		opsTotal += float64(res.SchedOps)
+		lastRes = res
+	}
+	k := float64(*runs)
+	seq := workload.Total(work, *n)
+
+	fmt.Printf("technique        %s\n", *tech)
+	fmt.Printf("tasks            %d\n", *n)
+	fmt.Printf("PEs              %d\n", *p)
+	fmt.Printf("workload         %s (mu=%.4g s, sigma=%.4g s)\n", work.Name(), work.Mean(), work.Std())
+	fmt.Printf("overhead h       %.4g s\n", *h)
+	fmt.Printf("runs             %d\n", *runs)
+	fmt.Printf("mean makespan    %.6g s\n", makespans/k)
+	fmt.Printf("mean sched ops   %.6g\n", opsTotal/k)
+	fmt.Printf("mean avg wasted  %.6g s\n", wasted/k)
+	fmt.Printf("speedup          %.4g (ideal %d)\n", seq/(makespans/k), *p)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Write(f, recorder.Trace()); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d chunk events to %s", len(recorder.Trace().Events), *traceOut)
+	}
+
+	if *verbose && lastRes != nil {
+		fmt.Println("\nlast run, per PE:")
+		var tb ascii.Table
+		tb.AddRow("PE", "tasks", "ops", "compute_s", "idle_s")
+		for w := 0; w < *p; w++ {
+			tb.AddRowf(w, lastRes.TasksPerWorker[w], lastRes.OpsPerWorker[w],
+				lastRes.Compute[w], lastRes.Makespan-lastRes.Compute[w])
+		}
+		os.Stdout.WriteString(tb.String())
+	}
+}

@@ -1,0 +1,97 @@
+// Command platgen emits SimGrid-flavoured platform and deployment XML
+// files for the simulated systems of the reproduction: homogeneous star
+// clusters (the BBN GP-1000 / taurus stand-ins) and heterogeneous
+// clusters for the weighted techniques.
+//
+// Examples:
+//
+//	platgen -workers 96 -speed 1e6 > bbn.xml
+//	platgen -het 1e6,2e6,4e6 -deployment deploy.xml > het.xml
+//	platgen -workers 8 -free-network > free.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("platgen: ")
+
+	var (
+		workers   = flag.Int("workers", 8, "number of worker hosts")
+		prefix    = flag.String("prefix", "node", "host name prefix")
+		speed     = flag.Float64("speed", 1e9, "host speed, flops/s")
+		bandwidth = flag.Float64("bandwidth", 1.25e8, "link bandwidth, bytes/s")
+		latency   = flag.Float64("latency", 50e-6, "link latency, seconds")
+		het       = flag.String("het", "", "comma-separated worker speeds (overrides -workers/-speed)")
+		free      = flag.Bool("free-network", false, "use the paper's free-network parameters (§III-B)")
+		deploy    = flag.String("deployment", "", "also write a master-worker deployment file to this path")
+		nTasks    = flag.Int64("n", 1024, "task count argument in the generated deployment")
+		tech      = flag.String("tech", "FAC2", "technique argument in the generated deployment")
+	)
+	flag.Parse()
+
+	bw, lat := *bandwidth, *latency
+	if *free {
+		bw, lat = platform.FreeNetwork()
+	}
+
+	var pl *platform.Platform
+	var err error
+	var count int
+	if *het != "" {
+		var speeds []float64
+		for _, f := range strings.Split(*het, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				log.Fatalf("bad speed %q: %v", f, err)
+			}
+			speeds = append(speeds, v)
+		}
+		pl, err = platform.Heterogeneous(*prefix, speeds, bw, lat)
+		count = len(speeds)
+	} else {
+		pl, err = platform.Cluster(*prefix, *workers, *speed, bw, lat)
+		count = *workers
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := platform.WritePlatform(os.Stdout, pl); err != nil {
+		log.Fatal(err)
+	}
+
+	if *deploy != "" {
+		d := &platform.Deployment{}
+		d.Processes = append(d.Processes, platform.DeployedProcess{
+			Host:     fmt.Sprintf("%s-0", *prefix),
+			Function: "master",
+			Arguments: []string{
+				strconv.FormatInt(*nTasks, 10), *tech,
+			},
+		})
+		for i := 1; i <= count; i++ {
+			d.Processes = append(d.Processes, platform.DeployedProcess{
+				Host:     fmt.Sprintf("%s-%d", *prefix, i),
+				Function: "worker",
+			})
+		}
+		f, err := os.Create(*deploy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := platform.WriteDeployment(f, d); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote deployment for %d workers to %s", count, *deploy)
+	}
+}

@@ -1,0 +1,31 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Hoffeins, Ciorba, Banicescu: "Examining the Reproducibility of Using
+//	Dynamic Loop Scheduling Techniques in Scientific Applications"
+//	(IPDPS Workshops / PDSEC, 2017),
+//
+// which verifies a SimGrid-MSG implementation of dynamic loop scheduling
+// (DLS) techniques by reproducing scheduling experiments from the TSS
+// publication (Tzen & Ni 1993) and the BOLD publication (Hagerup 1997).
+//
+// The package itself is a thin, stable facade over the full system:
+//
+//   - internal/sched — the 15 DLS chunk calculators (STAT, SS, CSS, FSC,
+//     GSS, TSS, FAC, FAC2, BOLD, TAP, WF, AWF, AWF-B, AWF-C, AF)
+//   - internal/sim — the Hagerup-replica master–worker simulator
+//   - internal/des, internal/msg, internal/platform — the SimGrid-MSG
+//     equivalent (process-oriented kernel, mailboxes, platform/deployment
+//     XML)
+//   - internal/workload, internal/rng — task-time generators over a
+//     bit-exact rand48 family
+//   - internal/metrics, internal/experiment, internal/refdata — wasted
+//     time/speedup metrics, the experiment farm and the reference data
+//
+// Quick start:
+//
+//	wasted, err := repro.WastedTime("FAC2", 8192, 64,
+//	    repro.WithExponential(1), repro.WithOverhead(0.5), repro.WithSeed(42))
+//
+// The benchmark harness regenerating every figure of the paper lives in
+// bench_test.go and cmd/repro; see DESIGN.md and EXPERIMENTS.md.
+package repro

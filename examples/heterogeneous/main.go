@@ -1,0 +1,89 @@
+// Heterogeneous-system example: weighted factoring (WF) was developed
+// for "load-sharing in heterogeneous systems" (paper §II, [6]). This
+// example runs a loop on PEs of unequal speed and compares:
+//
+//   - FAC, which is blind to the speed differences,
+//   - WF with oracle weights (the true relative speeds),
+//   - AWF-B, which discovers the weights online from measured rates.
+//
+// go run ./examples/heterogeneous [-n tasks]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int64("n", 100000, "number of tasks")
+	flag.Parse()
+
+	// A small heterogeneous cluster: two fast nodes, one medium, one slow
+	// (relative speeds 4:4:2:1).
+	speeds := []float64{4, 4, 2, 1}
+	p := len(speeds)
+	var speedSum float64
+	for _, s := range speeds {
+		speedSum += s
+	}
+	weights := make([]float64, p)
+	for i, s := range speeds {
+		weights[i] = s * float64(p) / speedSum // oracle weights, Σ = p
+	}
+
+	work := workload.NewConstant(0.001)
+	seq := workload.Total(work, *n)
+	// Best possible makespan: all speed units busy continuously.
+	ideal := seq / speedSum
+	fmt.Printf("%d tasks of 1 ms on PEs with speeds %v\n", *n, speeds)
+	fmt.Printf("sequential on a speed-1 PE: %.1f s; ideal parallel: %.2f s\n\n", seq, ideal)
+
+	run := func(label string, s sched.Scheduler) {
+		res, err := sim.Run(sim.Config{
+			P:      p,
+			Sched:  s,
+			Work:   work,
+			Speeds: speeds,
+			RNG:    rng.New(1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eff := ideal / res.Makespan * 100
+		fmt.Printf("  %-22s makespan %7.3f s  efficiency %5.1f%%  CoV(finish) %.4f\n",
+			label, res.Makespan, eff, metrics.CoV(res.Finish))
+	}
+
+	fac, err := sched.New("FAC", sched.Params{N: *n, P: p, Mu: work.Mean(), Sigma: work.Std()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("FAC (speed-blind)", fac)
+
+	wf, err := sched.New("WF", sched.Params{
+		N: *n, P: p, Mu: work.Mean(), Sigma: work.Std(), Weights: weights,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("WF (oracle weights)", wf)
+
+	awfb, err := sched.NewAWFB(sched.Params{N: *n, P: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("AWF-B (learns online)", awfb)
+	learned := awfb.UpdatedWeights()
+	fmt.Printf("\nAWF-B's measured weights: %.2f (oracle: %.2f)\n", learned, weights)
+	fmt.Println("\nFAC deals out equal chunks per batch, so the slow PE drags every")
+	fmt.Println("batch barrier; WF sizes chunks by speed up front, and AWF-B converges")
+	fmt.Println("to nearly the same weights from runtime measurements alone.")
+}

@@ -1,0 +1,81 @@
+// Monte Carlo example: DLS was applied early to Monte Carlo simulations
+// (paper §I, [5]). Particle histories have i.i.d. random lifetimes, which
+// is exactly the BOLD publication's exponential workload — and this
+// example runs it through the full SimGrid-MSG-style stack: a platform
+// built (and round-tripped through SimGrid-flavoured XML) with a master
+// and workers exchanging real messages, per paper Figure 1.
+//
+//	go run ./examples/montecarlo [-histories N] [-p PEs]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int64("histories", 4096, "number of particle histories (tasks)")
+	p := flag.Int("p", 16, "number of worker PEs")
+	seed := flag.Uint64("seed", 2017, "random seed")
+	flag.Parse()
+
+	// Build the cluster, write it to SimGrid-flavoured XML, and read it
+	// back — demonstrating that the simulation consumes the same kind of
+	// platform description the paper's SimGrid experiments did.
+	bw, lat := platform.FreeNetwork()
+	built, err := platform.Cluster("mc", *p, 1.0, bw, lat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := platform.WritePlatform(&buf, built); err != nil {
+		log.Fatal(err)
+	}
+	pl, err := platform.ParsePlatform(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform: %d hosts (XML round-tripped, %d bytes)\n\n", pl.NumHosts(), buf.Len())
+
+	workers := make([]string, *p)
+	for i := range workers {
+		workers[i] = fmt.Sprintf("mc-%d", i+1)
+	}
+
+	// Particle histories: exponential lifetime with mean 1 s, h = 0.5 s
+	// of bookkeeping per work assignment — the Hagerup setup.
+	const h = 0.5
+	fmt.Printf("%d particle histories on %d PEs, exp(mu=1s), h=%.1fs\n\n", *n, *p, h)
+	fmt.Printf("  %-6s  %12s  %12s  %10s\n", "tech", "makespan [s]", "wasted [s]", "sched ops")
+	for _, tech := range []string{"STAT", "SS", "GSS", "FAC2", "BOLD"} {
+		s, err := sched.New(tech, sched.Params{N: *n, P: *p, H: h, Mu: 1, Sigma: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := msg.RunApp(msg.NewEngine(pl), msg.AppConfig{
+			MasterHost:     "mc-0",
+			WorkerHosts:    workers,
+			Sched:          s,
+			Work:           workload.NewExponential(1),
+			RNG:            rng.FromState(rng.Mix64(*seed)),
+			ReferenceSpeed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wasted := metrics.AverageWasted(res.Makespan, res.Compute, res.SchedOps, h)
+		fmt.Printf("  %-6s  %12.2f  %12.2f  %10d\n", tech, res.Makespan, wasted, res.SchedOps)
+	}
+	fmt.Println("\nSS balances the random lifetimes perfectly but pays h per history;")
+	fmt.Println("BOLD and FAC2 get near-SS balance at a fraction of the operations.")
+}

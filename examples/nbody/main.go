@@ -1,0 +1,133 @@
+// N-body example: the paper's introduction motivates DLS with N-body
+// simulations ([7]: "Balancing processor loads and exploiting data
+// locality in N-body simulations"). This example models the force
+// computation loop of a clustered particle system: a body in a dense
+// region interacts with many neighbours, one in a void with few, so
+// per-body cost is heavy-tailed and the loop is irregular.
+//
+// It defines a custom workload on top of the library's Workload
+// interface — a deterministic Pareto-like per-body cost derived by
+// hashing the body index (bodies are stored in construction order, not
+// sorted by density) — and compares static chunking with the dynamic
+// techniques over the loop.
+//
+//	go run ./examples/nbody [-bodies N] [-p PEs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// forceProfile is the per-body cost model: body i's force computation
+// costs base·m(i), where the interaction multiplier m(i) follows a
+// truncated Pareto law (tail index 1.5, cap 50×) derived deterministically
+// from the body index. The profile is deterministic, so every scheduling
+// technique sees the identical loop.
+type forceProfile struct {
+	n    int64
+	base float64
+}
+
+// multiplier returns the Pareto-like interaction factor of body i.
+func (f forceProfile) multiplier(i int64) float64 {
+	// A uniform in (0,1] from the body index.
+	u := (float64(rng.Mix64(uint64(i))>>11) + 1) / (1 << 53)
+	m := math.Pow(u, -1/1.5)
+	if m > 50 {
+		m = 50
+	}
+	return m
+}
+
+func (f forceProfile) Name() string { return "nbody-force" }
+
+func (f forceProfile) Time(i int64, _ *rng.Rand48) float64 {
+	return f.base * f.multiplier(i)
+}
+
+func (f forceProfile) ChunkTime(start, count int64, r *rng.Rand48) float64 {
+	var s float64
+	for i := int64(0); i < count; i++ {
+		s += f.Time(start+i, r)
+	}
+	return s
+}
+
+func (f forceProfile) Mean() float64 {
+	return f.ChunkTime(0, f.n, nil) / float64(f.n)
+}
+
+func (f forceProfile) Std() float64 {
+	mean := f.Mean()
+	var ss float64
+	for i := int64(0); i < f.n; i++ {
+		d := f.Time(i, nil) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(f.n))
+}
+
+func (f forceProfile) Deterministic() bool { return true }
+
+func main() {
+	log.SetFlags(0)
+	bodies := flag.Int64("bodies", 50000, "number of bodies (loop iterations)")
+	p := flag.Int("p", 16, "number of PEs")
+	flag.Parse()
+
+	work := forceProfile{n: *bodies, base: 50e-6}
+	seq := work.ChunkTime(0, *bodies, nil)
+	fmt.Printf("N-body force loop: %d bodies on %d PEs\n", *bodies, *p)
+	fmt.Printf("per-body cost: heavy-tailed, mu=%.3g s, sigma=%.3g s (CoV %.2f)\n",
+		work.Mean(), work.Std(), work.Std()/work.Mean())
+	fmt.Printf("sequential time: %.2f s\n\n", seq)
+
+	type row struct {
+		tech    string
+		speedup float64
+		cov     float64
+		ops     int64
+	}
+	var rows []row
+	for _, tech := range []string{"STAT", "SS", "GSS", "TSS", "FAC", "FAC2", "BOLD", "AF"} {
+		s, err := sched.New(tech, sched.Params{
+			N: *bodies, P: *p,
+			H:  10e-6, // a realistic lock-and-compute scheduling cost
+			Mu: work.Mean(), Sigma: work.Std(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			P: *p, Sched: s, Work: work,
+			H: 10e-6, HInDynamics: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{
+			tech:    tech,
+			speedup: seq / res.Makespan,
+			cov:     metrics.CoV(res.Compute),
+			ops:     res.SchedOps,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].speedup > rows[j].speedup })
+
+	fmt.Printf("  %-6s  %8s  %14s  %10s\n", "tech", "speedup", "load CoV", "sched ops")
+	for _, r := range rows {
+		fmt.Printf("  %-6s  %8.2f  %14.4f  %10d\n", r.tech, r.speedup, r.cov, r.ops)
+	}
+	fmt.Printf("\nStatic chunking locks in whatever density mix each PE's slice happens\n")
+	fmt.Printf("to contain (highest load CoV). The decreasing-chunk techniques smooth\n")
+	fmt.Printf("the heavy tail at a fraction of SS's %d scheduling operations.\n", *bodies)
+}

@@ -1,0 +1,86 @@
+// Resilience example: the paper's earlier-work context investigated "the
+// resilience of dynamic loop scheduling in heterogeneous computing
+// systems" ([3]). This example kills workers mid-loop and shows the
+// fault-tolerant master (internal/msg.RunResilientApp) detecting the
+// silence, requeueing the lost chunks and finishing the loop on the
+// survivors — and how the scheduling technique determines the cost of a
+// failure: STAT loses a whole n/p-task chunk, FAC2 only a small one.
+//
+//	go run ./examples/resilience [-n tasks] [-p PEs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/msg"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int64("n", 4000, "number of tasks")
+	p := flag.Int("p", 8, "number of worker PEs")
+	flag.Parse()
+
+	bw, lat := platform.FreeNetwork()
+	newEngine := func() (*msg.Engine, string, []string) {
+		pl, err := platform.Cluster("r", *p, 1.0, bw, lat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		workers := make([]string, *p)
+		for i := range workers {
+			workers[i] = fmt.Sprintf("r-%d", i+1)
+		}
+		return msg.NewEngine(pl), "r-0", workers
+	}
+
+	const taskTime = 0.01
+	run := func(tech string, failures []msg.Failure) *msg.ResilientResult {
+		s, err := sched.New(tech, sched.Params{N: *n, P: *p, Mu: taskTime, Sigma: 0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, master, workers := newEngine()
+		res, err := msg.RunResilientApp(e, msg.ResilientConfig{
+			AppConfig: msg.AppConfig{
+				MasterHost:     master,
+				WorkerHosts:    workers,
+				Sched:          s,
+				Work:           workload.NewConstant(taskTime),
+				ReferenceSpeed: 1,
+			},
+			Failures: failures,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("%d tasks of %.0f ms on %d PEs; worker 2 crashes during its 1st chunk,\n",
+		*n, taskTime*1000, *p)
+	fmt.Printf("worker 5 during its 3rd\n\n")
+	failures := []msg.Failure{{Worker: 2, AfterChunks: 1}, {Worker: 5, AfterChunks: 3}}
+
+	fmt.Printf("  %-6s  %12s  %12s  %12s  %10s\n",
+		"tech", "makespan [s]", "no-fail [s]", "reassigned", "penalty")
+	for _, tech := range []string{"STAT", "GSS", "TSS", "FAC2", "SS"} {
+		clean := run(tech, nil)
+		faulty := run(tech, failures)
+		if faulty.TasksCompleted != *n {
+			log.Fatalf("%s: completed %d of %d", tech, faulty.TasksCompleted, *n)
+		}
+		penalty := (faulty.Makespan - clean.Makespan) / clean.Makespan * 100
+		fmt.Printf("  %-6s  %12.2f  %12.2f  %12d  %9.1f%%\n",
+			tech, faulty.Makespan, clean.Makespan, faulty.TasksReassigned, penalty)
+	}
+
+	fmt.Println("\nA failure costs (chunk size at death) × (re-execution) plus detection")
+	fmt.Println("latency. STAT forfeits a whole n/p chunk; the decreasing-chunk")
+	fmt.Println("techniques mostly lose small late chunks, and SS loses single tasks.")
+}

@@ -1,0 +1,250 @@
+// Package ascii renders the paper's figures as terminal line charts and
+// tables: linear or logarithmic y-axes, one plot mark per series, and
+// column-aligned numeric tables. cmd/repro uses it to print every figure
+// of the evaluation section.
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// PlotConfig controls chart rendering.
+type PlotConfig struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int  // plot area columns (default 64)
+	Height int  // plot area rows (default 20)
+	LogY   bool // logarithmic y-axis (the Hagerup figures use one)
+}
+
+// marks are assigned to series in order, as the paper's figures assign
+// one symbol per technique.
+var marks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'}
+
+// Plot renders the series as a text chart.
+func Plot(cfg PlotConfig, series ...Series) string {
+	w := cfg.Width
+	if w <= 0 {
+		w = 64
+	}
+	h := cfg.Height
+	if h <= 0 {
+		h = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if cfg.LogY && y <= 0 {
+				continue // log axis cannot show non-positive values
+			}
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return cfg.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	yT := func(y float64) float64 { return y }
+	if cfg.LogY {
+		yT = math.Log10
+	}
+	tmin, tmax := yT(ymin), yT(ymax)
+	if tmax == tmin {
+		tmax = tmin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			y := s.Y[i]
+			if cfg.LogY && y <= 0 {
+				continue
+			}
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(w-1)))
+			row := int(math.Round((yT(y) - tmin) / (tmax - tmin) * float64(h-1)))
+			r := h - 1 - row
+			if r >= 0 && r < h && col >= 0 && col < w {
+				grid[r][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	if cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.YLabel)
+	}
+	axisW := 11
+	for r := 0; r < h; r++ {
+		frac := float64(h-1-r) / float64(h-1)
+		t := tmin + frac*(tmax-tmin)
+		v := t
+		if cfg.LogY {
+			v = math.Pow(10, t)
+		}
+		label := ""
+		// Label every fourth row and the extremes.
+		if r == 0 || r == h-1 || r%4 == 0 {
+			label = fmt.Sprintf("%10.3g", v)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", axisW-1, label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", axisW-1), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%*s%-*.4g%*.4g\n", axisW+1, "", w/2, xmin, w/2, xmax)
+	if cfg.XLabel != "" {
+		fmt.Fprintf(&b, "%*s%s\n", axisW+1+(w-len(cfg.XLabel))/2, "", cfg.XLabel)
+	}
+	b.WriteString(legend(series))
+	return b.String()
+}
+
+func legend(series []Series) string {
+	var b strings.Builder
+	b.WriteString("  legend: ")
+	for i, s := range series {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", marks[i%len(marks)], s.Label)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Table renders rows with right-aligned, column-width-normalized cells.
+// The first row is treated as the header and underlined.
+type Table struct {
+	rows [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row formatting each value with %v (floats as %.4g).
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	cols := 0
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range t.rows {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			fmt.Fprintf(&b, "%*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			for i := 0; i < cols; i++ {
+				fmt.Fprintf(&b, "%*s", widths[i]+2, strings.Repeat("-", widths[i]))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Histogram renders a horizontal-bar frequency view of vals with the
+// given number of bins (used for the Figure 9 per-run scatter summary).
+func Histogram(vals []float64, bins int, width int) string {
+	if len(vals) == 0 || bins <= 0 {
+		return "(no data)\n"
+	}
+	if width <= 0 {
+		width = 50
+	}
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range vals {
+		b := int((v - lo) / (hi - lo) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		binLo := lo + (hi-lo)*float64(i)/float64(bins)
+		binHi := lo + (hi-lo)*float64(i+1)/float64(bins)
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", c*width/max)
+		}
+		fmt.Fprintf(&b, "%10.4g-%-10.4g |%-*s %d\n", binLo, binHi, width, bar, c)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	out := Plot(PlotConfig{Title: "speedup", XLabel: "number PEs", YLabel: "Speedup"},
+		Series{Label: "TSS", X: []float64{2, 8, 80}, Y: []float64{1.9, 7.6, 75.7}},
+		Series{Label: "SS", X: []float64{2, 8, 80}, Y: []float64{1.9, 5.5, 9.0}},
+	)
+	for _, want := range []string{"speedup", "number PEs", "Speedup", "*=TSS", "+=SS", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotLogY(t *testing.T) {
+	out := Plot(PlotConfig{LogY: true, Height: 10, Width: 40},
+		Series{Label: "a", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000}},
+	)
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Errorf("log plot missing top label:\n%s", out)
+	}
+}
+
+func TestPlotLogYIgnoresNonPositive(t *testing.T) {
+	out := Plot(PlotConfig{LogY: true},
+		Series{Label: "a", X: []float64{1, 2}, Y: []float64{0, 10}},
+	)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "-Inf") {
+		t.Errorf("log plot leaked non-finite labels:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	out := Plot(PlotConfig{Title: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// Degenerate ranges (all x equal, all y equal) must not divide by 0.
+	out := Plot(PlotConfig{},
+		Series{Label: "c", X: []float64{5, 5}, Y: []float64{3, 3}},
+	)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("constant series produced NaN:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var tb Table
+	tb.AddRow("technique", "p=2", "p=8")
+	tb.AddRowf("STAT", 26.13, 14.5)
+	tb.AddRowf("SS", 256, 64.01)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "technique") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header/underline wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "26.13") {
+		t.Errorf("missing value:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var tb Table
+	if tb.String() != "" {
+		t.Error("empty table should render empty")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	var tb Table
+	tb.AddRow("a", "b", "c")
+	tb.AddRow("x")
+	out := tb.String()
+	if !strings.Contains(out, "x") {
+		t.Errorf("ragged row lost:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	vals := []float64{1, 1, 1, 2, 2, 10}
+	out := Histogram(vals, 3, 20)
+	if !strings.Contains(out, "#") {
+		t.Errorf("histogram has no bars:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("histogram lines = %d", len(lines))
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if out := Histogram(nil, 3, 10); !strings.Contains(out, "no data") {
+		t.Errorf("nil histogram = %q", out)
+	}
+	out := Histogram([]float64{5, 5, 5}, 2, 10)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("constant histogram produced NaN:\n%s", out)
+	}
+}

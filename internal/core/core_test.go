@@ -1,0 +1,107 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/refdata"
+)
+
+func TestVerdictString(t *testing.T) {
+	if Reproduced.String() != "reproduced" || Diverged.String() != "diverged" {
+		t.Fatal("verdict strings changed")
+	}
+	if !strings.Contains(Excluded.String(), "outlier") {
+		t.Fatalf("Excluded = %q", Excluded)
+	}
+	if !strings.Contains(Verdict(9).String(), "9") {
+		t.Fatal("unknown verdict unprintable")
+	}
+}
+
+// TestVerifyHagerupReproduces runs the methodology end to end on the
+// 1024-task slice and expects the paper's successful verdict.
+func TestVerifyHagerupReproduces(t *testing.T) {
+	report, err := VerifyHagerup(1024, 150, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != Reproduced {
+		t.Fatalf("verdict = %v; %s", report.Verdict, report.Summary())
+	}
+	if report.MaxRelative > HagerupTolerancePct {
+		t.Fatalf("max relative %.2f%% exceeds bound", report.MaxRelative)
+	}
+	// 8 techniques × 5 PE counts.
+	if len(report.Checks) != 40 {
+		t.Fatalf("checks = %d, want 40", len(report.Checks))
+	}
+	// The FAC/2-PE outlier must be excluded, not judged.
+	found := false
+	for _, c := range report.Checks {
+		if c.Name == "FAC p=2" {
+			found = true
+			if c.Verdict != Excluded {
+				t.Errorf("FAC p=2 verdict = %v, want Excluded", c.Verdict)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("FAC p=2 check missing")
+	}
+	if !strings.Contains(report.Summary(), "Figure 5") {
+		t.Fatalf("summary = %q", report.Summary())
+	}
+}
+
+func TestVerifyHagerupRejectsReferenceSeed(t *testing.T) {
+	if _, err := VerifyHagerup(1024, 10, refdata.Seed); err == nil {
+		t.Fatal("verification against its own reference seed accepted")
+	}
+}
+
+func TestVerifyHagerupUnknownN(t *testing.T) {
+	if _, err := VerifyHagerup(999, 5, 1); err == nil {
+		t.Fatal("n without reference data accepted")
+	}
+}
+
+// TestVerifyTzenVerdicts reproduces the paper's §IV-A outcome via the
+// methodology API: experiment 1 as a whole DIVERGES (because of SS),
+// while CSS and TSS individually reproduce.
+func TestVerifyTzenVerdicts(t *testing.T) {
+	report, err := VerifyTzen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != Diverged {
+		t.Fatalf("experiment 1 verdict = %v, want Diverged (the paper's negative result)", report.Verdict)
+	}
+	byName := map[string]Check{}
+	for _, c := range report.Checks {
+		byName[strings.Fields(c.Name)[0]] = c
+	}
+	if byName["SS"].Verdict != Diverged {
+		t.Errorf("SS = %v, want Diverged", byName["SS"].Verdict)
+	}
+	for _, tech := range []string{"CSS", "TSS"} {
+		if byName[tech].Verdict != Reproduced {
+			t.Errorf("%s = %v, want Reproduced", tech, byName[tech].Verdict)
+		}
+	}
+}
+
+func TestVerifyTzenBadExperiment(t *testing.T) {
+	if _, err := VerifyTzen(3); err == nil {
+		t.Fatal("experiment 3 accepted")
+	}
+}
+
+func TestExcludeFACOutlier(t *testing.T) {
+	if !ExcludeFACOutlier("FAC", 2) {
+		t.Fatal("FAC/2 not excluded")
+	}
+	if ExcludeFACOutlier("FAC", 8) || ExcludeFACOutlier("FAC2", 2) {
+		t.Fatal("over-exclusion")
+	}
+}

@@ -1,0 +1,228 @@
+// Package des is a deterministic, process-oriented discrete-event
+// simulation kernel — the core this repository's SimGrid-MSG equivalent
+// (internal/msg) is built on.
+//
+// Simulated processes are goroutines, but exactly one of them executes at
+// any moment: the kernel hands control to a process and waits until that
+// process blocks on a simulation primitive (Hold, Suspend) or terminates.
+// Events fire in (time, sequence) order, so two runs of the same program
+// produce identical traces — a property the paper's reproducibility
+// methodology depends on and which the tests verify.
+//
+// The kernel knows nothing about hosts, tasks or messages; those live in
+// internal/platform and internal/msg.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Simulator owns the virtual clock and the event queue.
+type Simulator struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+
+	yieldCh chan struct{} // signaled when the running process blocks or ends
+
+	live      int               // processes spawned and not yet terminated
+	suspended map[*Process]bool // processes blocked without a scheduled wake
+	running   bool
+}
+
+// New returns an empty simulator at virtual time 0.
+func New() *Simulator {
+	return &Simulator{
+		yieldCh:   make(chan struct{}),
+		suspended: make(map[*Process]bool),
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// event is a scheduled callback.
+type event struct {
+	t   float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Schedule runs fn at virtual time now+delay. Negative delays are clamped
+// to zero (fire "immediately", after already-queued same-time events).
+func (s *Simulator) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.events, event{t: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Process is a simulated thread of control. All its methods must be
+// called from within the process's own body function.
+type Process struct {
+	sim    *Simulator
+	name   string
+	resume chan struct{}
+	dead   bool
+
+	waitGen  uint64 // suspend/resume cycle counter, invalidates stale timers
+	timedOut bool   // outcome of the last SuspendTimeout
+}
+
+// Name returns the process name given at spawn time.
+func (p *Process) Name() string { return p.name }
+
+// Sim returns the simulator the process belongs to.
+func (p *Process) Sim() *Simulator { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Process) Now() float64 { return p.sim.now }
+
+// Spawn creates a process that starts executing body at the current
+// virtual time (after already-queued events). It may be called before Run
+// or from within another process.
+func (s *Simulator) Spawn(name string, body func(*Process)) *Process {
+	p := &Process{sim: s, name: name, resume: make(chan struct{})}
+	s.live++
+	go func() {
+		<-p.resume // first activation comes from the kernel
+		body(p)
+		p.dead = true
+		s.live--
+		s.yieldCh <- struct{}{}
+	}()
+	s.Schedule(0, func() { s.activate(p) })
+	return p
+}
+
+// SpawnAt is Spawn with a start delay, mirroring SimGrid deployment
+// files' start_time attribute.
+func (s *Simulator) SpawnAt(delay float64, name string, body func(*Process)) *Process {
+	p := &Process{sim: s, name: name, resume: make(chan struct{})}
+	s.live++
+	go func() {
+		<-p.resume
+		body(p)
+		p.dead = true
+		s.live--
+		s.yieldCh <- struct{}{}
+	}()
+	s.Schedule(delay, func() { s.activate(p) })
+	return p
+}
+
+// activate transfers control to p and waits until it yields back.
+// Called only from kernel context (inside an event function).
+func (s *Simulator) activate(p *Process) {
+	if p.dead {
+		return
+	}
+	p.resume <- struct{}{}
+	<-s.yieldCh
+}
+
+// yield returns control to the kernel and blocks until reactivated.
+func (p *Process) yield() {
+	p.sim.yieldCh <- struct{}{}
+	<-p.resume
+}
+
+// Hold advances the process's virtual time by d seconds (the simulated
+// equivalent of doing work or sleeping for d).
+func (p *Process) Hold(d float64) {
+	s := p.sim
+	s.Schedule(d, func() { s.activate(p) })
+	p.yield()
+}
+
+// Suspend blocks the process indefinitely; some other event must Wake it.
+// Suspended processes with no pending events constitute a deadlock, which
+// Run reports as an error.
+func (p *Process) Suspend() {
+	p.sim.suspended[p] = true
+	p.yield()
+	p.waitGen++
+}
+
+// SuspendTimeout blocks like Suspend but resumes by itself after d
+// seconds if nothing woke the process earlier. It reports whether the
+// wake-up was the timeout (true) or an explicit Wake (false). Stale
+// timers from earlier suspend cycles are ignored.
+func (p *Process) SuspendTimeout(d float64) (timedOut bool) {
+	s := p.sim
+	p.timedOut = false
+	gen := p.waitGen
+	s.suspended[p] = true
+	s.Schedule(d, func() {
+		if s.suspended[p] && p.waitGen == gen {
+			delete(s.suspended, p)
+			p.timedOut = true
+			s.activate(p)
+		}
+	})
+	p.yield()
+	p.waitGen++
+	return p.timedOut
+}
+
+// Wake schedules the suspended process to resume at the current virtual
+// time. Waking a process that is not suspended is a no-op.
+func (s *Simulator) Wake(p *Process) {
+	if !s.suspended[p] {
+		return
+	}
+	delete(s.suspended, p)
+	s.Schedule(0, func() { s.activate(p) })
+}
+
+// Run executes events until none remain. It returns an error if processes
+// are still alive afterwards (a deadlock: every remaining process is
+// suspended with nobody left to wake it). Run may be called again after
+// spawning more processes.
+func (s *Simulator) Run() error {
+	if s.running {
+		return fmt.Errorf("des: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		if ev.t < s.now {
+			return fmt.Errorf("des: time went backwards: %v -> %v", s.now, ev.t)
+		}
+		s.now = ev.t
+		ev.fn()
+	}
+	if s.live > 0 {
+		names := make([]string, 0, len(s.suspended))
+		for p := range s.suspended {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("des: deadlock at t=%v: %d live processes, suspended: %v", s.now, s.live, names)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file exports experiment results as CSV — the repository's
+// equivalent of the paper's §V promise that "the raw data of the
+// experiments is freely available online".
+
+// WriteHagerupCSV writes one row per grid cell with the aggregate
+// statistics.
+func WriteHagerupCSV(w io.Writer, r *HagerupResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"technique", "n", "p", "runs", "mean_wasted_s", "std_wasted_s",
+		"min_wasted_s", "median_wasted_s", "max_wasted_s", "mean_sched_ops"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		row := []string{
+			c.Technique,
+			strconv.FormatInt(c.N, 10),
+			strconv.Itoa(c.P),
+			strconv.Itoa(c.Wasted.N),
+			fmtF(c.Wasted.Mean), fmtF(c.Wasted.Std),
+			fmtF(c.Wasted.Min), fmtF(c.Wasted.Median), fmtF(c.Wasted.Max),
+			fmtF(c.MeanOps),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePerRunCSV writes the per-run wasted times of one cell (the raw
+// data behind paper Figure 9).
+func WritePerRunCSV(w io.Writer, c *Cell) error {
+	if c.PerRun == nil {
+		return fmt.Errorf("experiment: cell %s n=%d p=%d has no per-run data (set KeepPerRun)",
+			c.Technique, c.N, c.P)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"run", "avg_wasted_s"}); err != nil {
+		return err
+	}
+	for i, v := range c.PerRun {
+		if err := cw.Write([]string{strconv.Itoa(i), fmtF(v)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTzenCSV writes one row per (curve, p) point with the three
+// Tzen–Ni metrics.
+func WriteTzenCSV(w io.Writer, r *TzenResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"curve", "p", "speedup", "overhead_degree", "imbalance_degree"}); err != nil {
+		return err
+	}
+	for _, curve := range r.Spec.Curves {
+		for _, pt := range r.Curves[curve.Label] {
+			row := []string{curve.Label, strconv.Itoa(pt.P),
+				fmtF(pt.Speedup), fmtF(pt.Overhead), fmtF(pt.Imbalancing)}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

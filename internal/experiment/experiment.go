@@ -1,0 +1,231 @@
+// Package experiment orchestrates the reproducibility experiments of the
+// paper's evaluation (§IV): the Hagerup wasted-time grid (Figures 5–8,
+// Table III), the per-run FAC analysis (Figure 9) and the Tzen–Ni speedup
+// curves (Figures 3–4).
+//
+// The paper ran its measurements "in parallel on the HPC cluster taurus"
+// (§V); this package parallelizes the independent runs of an experiment
+// over local CPU cores instead. Results are bit-reproducible for a given
+// seed regardless of the degree of parallelism, because every run draws
+// from an independently derived rand48 stream (DESIGN.md §6).
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// HagerupSpec describes a grid of wasted-time experiments following the
+// BOLD publication's experiment 1 (paper §III-B, Table III).
+type HagerupSpec struct {
+	Techniques []string // DLS techniques to measure
+	Ns         []int64  // task counts
+	Ps         []int    // PE counts
+	Runs       int      // runs per cell (paper: 1000)
+	Mu         float64  // exponential mean task time (paper: 1 s)
+	H          float64  // scheduling overhead per operation (paper: 0.5 s)
+	Seed       uint64   // base seed; all run streams derive from it
+	Workers    int      // concurrent runs; 0 selects GOMAXPROCS
+	KeepPerRun bool     // retain per-run wasted times (needed for Figure 9)
+}
+
+// Validate checks the spec for usability.
+func (s HagerupSpec) Validate() error {
+	if len(s.Techniques) == 0 || len(s.Ns) == 0 || len(s.Ps) == 0 {
+		return fmt.Errorf("experiment: empty technique/N/P lists")
+	}
+	if s.Runs <= 0 {
+		return fmt.Errorf("experiment: Runs must be positive, got %d", s.Runs)
+	}
+	if s.Mu <= 0 {
+		return fmt.Errorf("experiment: Mu must be positive, got %v", s.Mu)
+	}
+	if s.H < 0 {
+		return fmt.Errorf("experiment: H must be non-negative, got %v", s.H)
+	}
+	for _, tech := range s.Techniques {
+		if _, err := sched.New(tech, sched.Params{N: 16, P: 2, H: s.H, Mu: s.Mu, Sigma: s.Mu}); err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+	}
+	return nil
+}
+
+// HagerupGrid returns the paper's Table III specification: eight
+// techniques, n ∈ {1024; 8192; 65536; 524288}, p ∈ {2; 8; 64; 256; 1024},
+// 1000 runs, exponential µ = 1 s, h = 0.5 s.
+func HagerupGrid(seed uint64) HagerupSpec {
+	return HagerupSpec{
+		Techniques: sched.VerifiedNames(),
+		Ns:         []int64{1024, 8192, 65536, 524288},
+		Ps:         []int{2, 8, 64, 256, 1024},
+		Runs:       1000,
+		Mu:         1,
+		H:          0.5,
+		Seed:       seed,
+	}
+}
+
+// Cell is the aggregated measurement of one (technique, n, p) grid cell.
+type Cell struct {
+	Technique string
+	N         int64
+	P         int
+
+	Wasted  metrics.Summary // average wasted time over the runs
+	MeanOps float64         // mean scheduling operations per run
+	PerRun  []float64       // per-run wasted times (only when KeepPerRun)
+}
+
+// HagerupResult holds all cells of a grid, indexable by (tech, n, p).
+type HagerupResult struct {
+	Spec  HagerupSpec
+	Cells []Cell
+	index map[string]int
+}
+
+// Cell returns the cell for (technique, n, p), or an error.
+func (r *HagerupResult) Cell(tech string, n int64, p int) (*Cell, error) {
+	i, ok := r.index[cellKey(tech, n, p)]
+	if !ok {
+		return nil, fmt.Errorf("experiment: no cell %s n=%d p=%d", tech, n, p)
+	}
+	return &r.Cells[i], nil
+}
+
+func cellKey(tech string, n int64, p int) string {
+	return fmt.Sprintf("%s/%d/%d", tech, n, p)
+}
+
+// cellSeed derives the base seed of one grid cell. Distinct cells get
+// decorrelated streams even if the user seed is small.
+func cellSeed(seed uint64, tech string, n int64, p int) uint64 {
+	h := rng.Mix64(seed)
+	for _, c := range []byte(tech) {
+		h = rng.Mix64(h ^ uint64(c))
+	}
+	h = rng.Mix64(h ^ uint64(n))
+	h = rng.Mix64(h ^ uint64(p)<<32)
+	return h
+}
+
+// OneHagerupRun executes a single run of one cell and returns its average
+// wasted time and the number of scheduling operations.
+func OneHagerupRun(tech string, n int64, p int, mu, h float64, stream *rng.Rand48) (wasted float64, ops int64, err error) {
+	s, err := sched.New(tech, sched.Params{N: n, P: p, H: h, Mu: mu, Sigma: mu})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := sim.Run(sim.Config{
+		P:     p,
+		Sched: s,
+		Work:  workload.NewExponential(mu),
+		RNG:   stream,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return metrics.AverageWasted(res.Makespan, res.Compute, res.SchedOps, h), res.SchedOps, nil
+}
+
+// RunHagerup executes the full grid, farming the independent runs of each
+// cell over a worker pool.
+func RunHagerup(spec HagerupSpec) (*HagerupResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	result := &HagerupResult{Spec: spec, index: make(map[string]int)}
+	for _, n := range spec.Ns {
+		for _, p := range spec.Ps {
+			for _, tech := range spec.Techniques {
+				cell, err := runCell(spec, tech, n, p, workers)
+				if err != nil {
+					return nil, err
+				}
+				result.index[cellKey(tech, n, p)] = len(result.Cells)
+				result.Cells = append(result.Cells, *cell)
+			}
+		}
+	}
+	return result, nil
+}
+
+// runCell farms the runs of one cell over the pool and aggregates.
+func runCell(spec HagerupSpec, tech string, n int64, p, workers int) (*Cell, error) {
+	base := cellSeed(spec.Seed, tech, n, p)
+	wasted := make([]float64, spec.Runs)
+	ops := make([]int64, spec.Runs)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	next := make(chan int)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range next {
+				stream := rng.StreamFor(base, run)
+				v, o, err := OneHagerupRun(tech, n, p, spec.Mu, spec.H, stream)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				wasted[run] = v
+				ops[run] = o
+			}
+		}()
+	}
+	for run := 0; run < spec.Runs; run++ {
+		next <- run
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	cell := &Cell{Technique: tech, N: n, P: p, Wasted: metrics.Summarize(wasted)}
+	var opSum int64
+	for _, o := range ops {
+		opSum += o
+	}
+	cell.MeanOps = float64(opSum) / float64(spec.Runs)
+	if spec.KeepPerRun {
+		cell.PerRun = wasted
+	}
+	return cell, nil
+}
+
+// Series extracts, for one technique and task count, the mean wasted time
+// per PE count — one line of the paper's Figures 5a–8a style plots.
+func (r *HagerupResult) Series(tech string, n int64) (ps []int, means []float64, err error) {
+	ps = append(ps, r.Spec.Ps...)
+	sort.Ints(ps)
+	for _, p := range ps {
+		c, err := r.Cell(tech, n, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		means = append(means, c.Wasted.Mean)
+	}
+	return ps, means, nil
+}

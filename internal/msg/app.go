@@ -1,0 +1,237 @@
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// This file implements the paper's Figure 1 on the MSG layer: a master
+// process owning the DLS chunk calculator and one worker process per PE.
+//
+//	"When starting the simulation, all workers are in idle state, and
+//	 send work request messages to the master. When the master receives
+//	 a work request message, it computes the chunk size for the chosen
+//	 DLS technique and sends the computed number of tasks to the
+//	 requesting worker. The worker simulates executing the tasks, and
+//	 when it finishes, it sends again a work request message to the
+//	 master. On completion of all tasks, the master sends finalization
+//	 messages to the workers, and the simulation ends."
+//
+// As in the paper, application data is assumed replicated: messages carry
+// only control information (§II), whose size is configurable.
+
+// AppConfig describes one master–worker DLS execution.
+type AppConfig struct {
+	MasterHost  string
+	WorkerHosts []string
+
+	Sched sched.Scheduler
+	Work  workload.Workload
+	RNG   *rng.Rand48 // required for random workloads
+
+	// RequestBytes and ReplyBytes are the control message sizes. The
+	// defaults (64 B) model the small work-request/assignment messages of
+	// the paper's master–worker protocol.
+	RequestBytes float64
+	ReplyBytes   float64
+
+	// ReferenceSpeed converts workload seconds into flops: a chunk whose
+	// workload time is t seconds costs t·ReferenceSpeed flops, so it runs
+	// in t seconds on a host of that speed. 0 selects the master host's
+	// speed (exact on homogeneous platforms).
+	ReferenceSpeed float64
+
+	// MasterOverhead, when positive, makes the master compute for this
+	// many seconds per scheduling operation (h inside the dynamics,
+	// ablation A1). The paper's faithful mode leaves this at 0 and adds
+	// h per operation post hoc in the metrics.
+	MasterOverhead float64
+}
+
+// AppResult reports one master–worker execution.
+type AppResult struct {
+	Makespan       float64   // virtual time when the last worker finalized
+	Compute        []float64 // per-worker total computing time
+	CommWait       []float64 // per-worker time spent in Send + blocked in Recv
+	SchedOps       int64
+	OpsPerWorker   []int64
+	TasksPerWorker []int64
+}
+
+// request is the payload of a work-request message.
+type request struct {
+	worker      int
+	lastChunk   int64   // 0 on the first request
+	lastElapsed float64 // execution time of the previous chunk
+}
+
+// reply is the payload of a work-assignment message.
+type reply struct {
+	chunk int64   // 0 means finalize
+	flops float64 // total computation of the chunk
+}
+
+const defaultCtrlBytes = 64
+
+// RunApp executes the Figure 1 protocol and returns its timing results.
+// The engine must be fresh (time 0) and is run to completion.
+func RunApp(e *Engine, cfg AppConfig) (*AppResult, error) {
+	p := len(cfg.WorkerHosts)
+	if p == 0 {
+		return nil, fmt.Errorf("msg: no worker hosts")
+	}
+	if cfg.Sched == nil || cfg.Work == nil {
+		return nil, fmt.Errorf("msg: AppConfig requires Sched and Work")
+	}
+	if !cfg.Work.Deterministic() && cfg.RNG == nil {
+		return nil, fmt.Errorf("msg: random workload %q requires RNG", cfg.Work.Name())
+	}
+	reqBytes := cfg.RequestBytes
+	if reqBytes <= 0 {
+		reqBytes = defaultCtrlBytes
+	}
+	repBytes := cfg.ReplyBytes
+	if repBytes <= 0 {
+		repBytes = defaultCtrlBytes
+	}
+	refSpeed := cfg.ReferenceSpeed
+	if refSpeed <= 0 {
+		mh, err := e.Platform().Host(cfg.MasterHost)
+		if err != nil {
+			return nil, err
+		}
+		refSpeed = mh.Speed
+	}
+
+	res := &AppResult{
+		Compute:        make([]float64, p),
+		CommWait:       make([]float64, p),
+		OpsPerWorker:   make([]int64, p),
+		TasksPerWorker: make([]int64, p),
+	}
+
+	const masterMailbox = "master"
+	if err := e.DeclareMailbox(masterMailbox, cfg.MasterHost); err != nil {
+		return nil, err
+	}
+	workerMailbox := func(w int) string { return fmt.Sprintf("worker-%d", w) }
+	for w := range cfg.WorkerHosts {
+		if err := e.DeclareMailbox(workerMailbox(w), cfg.WorkerHosts[w]); err != nil {
+			return nil, err
+		}
+	}
+
+	var nextTask int64
+	var appErr error
+	fail := func(err error) {
+		if appErr == nil {
+			appErr = err
+		}
+	}
+
+	// Master: Figure 1 left side.
+	err := e.Spawn(cfg.MasterHost, "master", func(mp *Process) {
+		finalized := 0
+		for finalized < p {
+			t, err := mp.Recv(masterMailbox)
+			if err != nil {
+				fail(err)
+				return
+			}
+			req, ok := t.Payload.(request)
+			if !ok {
+				fail(fmt.Errorf("msg: master received %T, want request", t.Payload))
+				return
+			}
+			if req.lastChunk > 0 {
+				cfg.Sched.Report(req.worker, req.lastChunk, req.lastElapsed, mp.Now())
+			}
+			if cfg.MasterOverhead > 0 {
+				mp.Sleep(cfg.MasterOverhead)
+			}
+			chunk := cfg.Sched.Next(req.worker, mp.Now())
+			rep := reply{chunk: chunk}
+			if chunk > 0 {
+				seconds := cfg.Work.ChunkTime(nextTask, chunk, cfg.RNG)
+				nextTask += chunk
+				rep.flops = seconds * refSpeed
+				res.SchedOps++
+				res.OpsPerWorker[req.worker]++
+				res.TasksPerWorker[req.worker] += chunk
+			} else {
+				finalized++
+			}
+			if err := mp.Send(workerMailbox(req.worker), &Task{
+				Name:    "assignment",
+				Bytes:   repBytes,
+				Payload: rep,
+			}); err != nil {
+				fail(err)
+				return
+			}
+		}
+		if t := mp.Now(); t > res.Makespan {
+			res.Makespan = t
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Workers: Figure 1 right side.
+	for w := range cfg.WorkerHosts {
+		w := w
+		err := e.Spawn(cfg.WorkerHosts[w], fmt.Sprintf("worker-%d", w), func(wp *Process) {
+			var lastChunk int64
+			var lastElapsed float64
+			for {
+				sendStart := wp.Now()
+				err := wp.Send(masterMailbox, &Task{
+					Name:    "work-request",
+					Bytes:   reqBytes,
+					Payload: request{worker: w, lastChunk: lastChunk, lastElapsed: lastElapsed},
+				})
+				if err != nil {
+					fail(err)
+					return
+				}
+				t, err := wp.Recv(workerMailbox(w))
+				if err != nil {
+					fail(err)
+					return
+				}
+				res.CommWait[w] += wp.Now() - sendStart
+				rep, ok := t.Payload.(reply)
+				if !ok {
+					fail(fmt.Errorf("msg: worker %d received %T, want reply", w, t.Payload))
+					return
+				}
+				if rep.chunk == 0 {
+					if t := wp.Now(); t > res.Makespan {
+						res.Makespan = t
+					}
+					return
+				}
+				start := wp.Now()
+				wp.Execute(rep.flops)
+				lastElapsed = wp.Now() - start
+				lastChunk = rep.chunk
+				res.Compute[w] += lastElapsed
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	if appErr != nil {
+		return nil, appErr
+	}
+	return res, nil
+}

@@ -1,0 +1,256 @@
+package msg
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// testPlatform builds a 2-host platform with a known link: 1 MB/s,
+// 1 ms latency.
+func testPlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	pl := platform.New()
+	if _, err := pl.AddHost("m", 1e6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.AddHost("w", 1e6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.AddLink("l", 1e6, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.AddRoute("m", "w", "l"); err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestSendRecvTransferTime(t *testing.T) {
+	e := NewEngine(testPlatform(t))
+	if err := e.DeclareMailbox("mb", "w"); err != nil {
+		t.Fatal(err)
+	}
+	var recvTime, sendDone float64
+	e.Spawn("m", "sender", func(p *Process) {
+		// 1 MB over 1 MB/s + 1 ms = 1.001 s.
+		if err := p.Send("mb", &Task{Name: "data", Bytes: 1e6}); err != nil {
+			t.Error(err)
+		}
+		sendDone = p.Now()
+	})
+	e.Spawn("w", "receiver", func(p *Process) {
+		task, err := p.Recv("mb")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if task.Source != "m" {
+			t.Errorf("source = %q", task.Source)
+		}
+		recvTime = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(recvTime-1.001) > 1e-9 {
+		t.Fatalf("received at %v, want 1.001", recvTime)
+	}
+	if math.Abs(sendDone-1.001) > 1e-9 {
+		t.Fatalf("send completed at %v, want 1.001 (blocking send)", sendDone)
+	}
+}
+
+func TestExecuteUsesHostSpeed(t *testing.T) {
+	e := NewEngine(testPlatform(t))
+	var elapsed float64
+	e.Spawn("m", "computer", func(p *Process) {
+		start := p.Now()
+		p.Execute(2e6) // 2 Mflop on 1 Mflop/s host = 2 s
+		elapsed = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(elapsed-2) > 1e-12 {
+		t.Fatalf("Execute took %v, want 2", elapsed)
+	}
+}
+
+func TestExecuteZeroIsFree(t *testing.T) {
+	e := NewEngine(testPlatform(t))
+	var elapsed float64
+	e.Spawn("m", "noop", func(p *Process) {
+		p.Execute(0)
+		p.Execute(-5)
+		elapsed = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 0 {
+		t.Fatalf("zero execute advanced time to %v", elapsed)
+	}
+}
+
+func TestMultipleQueuedSends(t *testing.T) {
+	// Three sends before any receive: all must be delivered, in order.
+	e := NewEngine(testPlatform(t))
+	e.DeclareMailbox("mb", "w")
+	e.Spawn("m", "sender", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Send("mb", &Task{Name: string(rune('a' + i)), Bytes: 10})
+		}
+	})
+	var got []string
+	e.Spawn("w", "receiver", func(p *Process) {
+		p.Sleep(1) // let all sends land first
+		for i := 0; i < 3; i++ {
+			task, err := p.Recv("mb")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, task.Name)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, "") != "abc" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestTwoWaitingReceivers(t *testing.T) {
+	// Two receivers blocked, two sends: both must be served (chained
+	// wake-ups must not lose a delivery).
+	pl := testPlatform(t)
+	pl.AddHost("w2", 1e6, 1)
+	pl.AddLink("l2", 1e6, 1e-3)
+	pl.AddRoute("m", "w2", "l2")
+	e := NewEngine(pl)
+	e.DeclareMailbox("mb", "m")
+	served := 0
+	for _, host := range []string{"w", "w2"} {
+		e.Spawn(host, "recv-"+host, func(p *Process) {
+			if _, err := p.Recv("mb"); err != nil {
+				t.Error(err)
+				return
+			}
+			served++
+		})
+	}
+	e.Spawn("m", "sender", func(p *Process) {
+		p.Sleep(0.5)
+		p.Send("mb", &Task{Bytes: 1})
+		p.Send("mb", &Task{Bytes: 1})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if served != 2 {
+		t.Fatalf("served = %d, want 2", served)
+	}
+}
+
+func TestUnknownMailbox(t *testing.T) {
+	e := NewEngine(testPlatform(t))
+	var sendErr, recvErr error
+	e.Spawn("m", "p", func(p *Process) {
+		sendErr = p.Send("ghost", &Task{})
+		_, recvErr = p.Recv("ghost")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendErr == nil || recvErr == nil {
+		t.Fatal("unknown mailbox accepted")
+	}
+}
+
+func TestDeclareMailboxErrors(t *testing.T) {
+	e := NewEngine(testPlatform(t))
+	if err := e.DeclareMailbox("mb", "ghost-host"); err == nil {
+		t.Error("mailbox on unknown host accepted")
+	}
+	if err := e.DeclareMailbox("mb", "m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeclareMailbox("mb", "w"); err == nil {
+		t.Error("duplicate mailbox accepted")
+	}
+}
+
+func TestSpawnOnUnknownHost(t *testing.T) {
+	e := NewEngine(testPlatform(t))
+	if err := e.Spawn("ghost", "p", func(*Process) {}); err == nil {
+		t.Error("spawn on unknown host accepted")
+	}
+}
+
+func TestRecvDeadlockDetected(t *testing.T) {
+	e := NewEngine(testPlatform(t))
+	e.DeclareMailbox("mb", "m")
+	e.Spawn("m", "starved", func(p *Process) {
+		p.Recv("mb") // nobody ever sends
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("deadlock not reported")
+	}
+}
+
+func TestDeploymentDrivenRun(t *testing.T) {
+	e := NewEngine(testPlatform(t))
+	e.DeclareMailbox("mb", "w")
+	var gotArgs []string
+	var pingAt float64
+	if err := e.RegisterFunction("pinger", func(p *Process, args []string) {
+		gotArgs = args
+		p.Send("mb", &Task{Name: "ping", Bytes: 100})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterFunction("ponger", func(p *Process, args []string) {
+		task, err := p.Recv("mb")
+		if err != nil || task.Name != "ping" {
+			t.Errorf("recv: %v %v", task, err)
+		}
+		pingAt = p.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d := &platform.Deployment{Processes: []platform.DeployedProcess{
+		{Host: "m", Function: "pinger", Arguments: []string{"42", "FAC2"}, StartTime: 1},
+		{Host: "w", Function: "ponger"},
+	}}
+	if err := e.Deploy(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotArgs) != 2 || gotArgs[1] != "FAC2" {
+		t.Fatalf("args = %v", gotArgs)
+	}
+	if pingAt < 1 {
+		t.Fatalf("ping at %v, want >= 1 (start_time)", pingAt)
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	e := NewEngine(testPlatform(t))
+	if err := e.RegisterFunction("f", nil); err == nil {
+		t.Error("nil function accepted")
+	}
+	e.RegisterFunction("f", func(*Process, []string) {})
+	if err := e.RegisterFunction("f", func(*Process, []string) {}); err == nil {
+		t.Error("duplicate function accepted")
+	}
+	bad := &platform.Deployment{Processes: []platform.DeployedProcess{{Host: "m", Function: "nope"}}}
+	if err := e.Deploy(bad); err == nil {
+		t.Error("unregistered function accepted")
+	}
+}

@@ -1,0 +1,192 @@
+package perturb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestNone(t *testing.T) {
+	m := None()
+	if m(0, 0) != 1 || m(99, 1e9) != 1 {
+		t.Fatal("None is not identity")
+	}
+}
+
+func TestSinusoidalBounds(t *testing.T) {
+	m, err := Sinusoidal(0.3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		for ti := 0; ti < 1000; ti++ {
+			f := m(w, float64(ti)*0.1)
+			if f < 0.7-1e-9 || f > 1.3+1e-9 {
+				t.Fatalf("factor %v outside [0.7,1.3]", f)
+			}
+		}
+	}
+	// Workers must not be in phase.
+	if m(0, 2.5) == m(1, 2.5) {
+		t.Fatal("workers oscillate in lockstep")
+	}
+}
+
+func TestSinusoidalValidation(t *testing.T) {
+	if _, err := Sinusoidal(1.0, 10); err == nil {
+		t.Error("amplitude 1 accepted")
+	}
+	if _, err := Sinusoidal(0.5, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestSteps(t *testing.T) {
+	m, err := Steps(
+		Slowdown{Workers: map[int]bool{0: true}, Factor: 0.5, From: 10, To: 20},
+		Slowdown{Factor: 0.8, From: 15, To: 25}, // all workers
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m(0, 5); got != 1 {
+		t.Fatalf("before window = %v", got)
+	}
+	if got := m(0, 12); got != 0.5 {
+		t.Fatalf("worker 0 in first window = %v", got)
+	}
+	if got := m(0, 17); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("overlap = %v, want 0.4", got)
+	}
+	if got := m(1, 17); got != 0.8 {
+		t.Fatalf("worker 1 = %v, want 0.8", got)
+	}
+	if got := m(0, 20); got != 0.8 {
+		t.Fatalf("boundary (To exclusive) = %v, want 0.8", got)
+	}
+}
+
+func TestStepsValidation(t *testing.T) {
+	if _, err := Steps(Slowdown{Factor: 0, From: 0, To: 1}); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := Steps(Slowdown{Factor: 1, From: 5, To: 5}); err == nil {
+		t.Error("empty interval accepted")
+	}
+}
+
+func TestRandomDegradation(t *testing.T) {
+	r := rng.New(1)
+	speeds, err := RandomDegradation(r, 100, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(speeds) != 100 {
+		t.Fatalf("len = %d", len(speeds))
+	}
+	for _, s := range speeds {
+		if s < 0.6 || s > 1 {
+			t.Fatalf("speed %v outside [0.6,1]", s)
+		}
+	}
+	if _, err := RandomDegradation(r, 0, 0.1); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := RandomDegradation(r, 4, 1.0); err == nil {
+		t.Error("severity 1 accepted")
+	}
+}
+
+func TestUniformStartSkew(t *testing.T) {
+	r := rng.New(2)
+	starts, err := UniformStartSkew(r, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range starts {
+		if s < 0 || s >= 3 {
+			t.Fatalf("start %v outside [0,3)", s)
+		}
+	}
+	if _, err := UniformStartSkew(r, 2, -1); err == nil {
+		t.Error("negative skew accepted")
+	}
+}
+
+func TestTraceAt(t *testing.T) {
+	tr, err := NewTrace([]float64{0, 10, 20}, []float64{1, 0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{0, 1}, {5, 1}, {10, 0.5}, {15, 0.5}, {20, 0.25}, {1e9, 0.25},
+	}
+	for _, c := range cases {
+		if got := tr.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := NewTrace(nil, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewTrace([]float64{1, 2}, []float64{1, 1}); err == nil {
+		t.Error("trace not starting at 0 accepted")
+	}
+	if _, err := NewTrace([]float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+	if _, err := NewTrace([]float64{0, 1}, []float64{1, 0}); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := NewTrace([]float64{0}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFromTraces(t *testing.T) {
+	tr, _ := NewTrace([]float64{0, 1}, []float64{1, 0.5})
+	m := FromTraces([]*Trace{tr, nil})
+	if m(0, 2) != 0.5 {
+		t.Fatal("trace not applied")
+	}
+	if m(1, 2) != 1 || m(7, 2) != 1 {
+		t.Fatal("missing traces must default to 1")
+	}
+}
+
+// TestDLSRecoversFromPerturbation is the robustness story of the earlier
+// work [2]: under a mid-run slowdown of one PE, dynamic techniques (SS)
+// lose far less than static chunking.
+func TestDLSRecoversFromPerturbation(t *testing.T) {
+	const n, p = 4000, 4
+	slow, err := Steps(Slowdown{Workers: map[int]bool{0: true}, Factor: 0.25, From: 0, To: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(tech string) float64 {
+		s, err := sched.New(tech, sched.Params{N: n, P: p, Mu: 0.01, Sigma: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			P: p, Sched: s, Work: workload.NewConstant(0.01), Perturb: slow,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.AverageWasted(res.Makespan, res.Compute, res.SchedOps, 0)
+	}
+	static := run("STAT")
+	dynamic := run("SS")
+	if dynamic >= static/2 {
+		t.Fatalf("SS wasted %v not clearly better than STAT %v under slowdown", dynamic, static)
+	}
+}

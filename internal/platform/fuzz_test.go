@@ -1,0 +1,56 @@
+package platform
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlatform checks the XML parser never panics and that any
+// successfully parsed platform re-serializes and re-parses to the same
+// host/link counts (weak round-trip invariant).
+func FuzzParsePlatform(f *testing.F) {
+	f.Add(samplePlatform)
+	f.Add(`<platform version="4.1"><zone id="z" routing="Full"></zone></platform>`)
+	f.Add(`<platform><zone><host id="h" speed="1Gf"/></zone></platform>`)
+	f.Add(`<platform version="4.1"><zone id="z" routing="Full"><host id="a" speed="2Mf"/><host id="b" speed="3Kf" core="4"/><link id="l" bandwidth="1MBps" latency="1us"/><route src="a" dst="b"><link_ctn id="l"/></route></zone></platform>`)
+	f.Add(``)
+	f.Add(`<<<>>>`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		pl, err := ParsePlatform(strings.NewReader(doc))
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WritePlatform(&buf, pl); err != nil {
+			t.Fatalf("write of parsed platform failed: %v", err)
+		}
+		again, err := ParsePlatform(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written platform failed: %v\n%s", err, buf.String())
+		}
+		if again.NumHosts() != pl.NumHosts() {
+			t.Fatalf("host count changed: %d -> %d", pl.NumHosts(), again.NumHosts())
+		}
+		if len(again.Links()) != len(pl.Links()) {
+			t.Fatalf("link count changed: %d -> %d", len(pl.Links()), len(again.Links()))
+		}
+	})
+}
+
+// FuzzParseDeployment checks the deployment parser never panics.
+func FuzzParseDeployment(f *testing.F) {
+	f.Add(sampleDeployment)
+	f.Add(`<platform version="4.1"><process host="h" function="f"/></platform>`)
+	f.Add(`nonsense`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		d, err := ParseDeployment(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDeployment(&buf, d); err != nil {
+			t.Fatalf("write of parsed deployment failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package platform
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAddHostValidation(t *testing.T) {
+	pl := New()
+	if _, err := pl.AddHost("", 1, 1); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := pl.AddHost("h", 0, 1); err == nil {
+		t.Error("zero speed accepted")
+	}
+	if _, err := pl.AddHost("h", math.Inf(1), 1); err == nil {
+		t.Error("infinite speed accepted")
+	}
+	if _, err := pl.AddHost("h", 1e9, 0); err != nil {
+		t.Fatalf("valid host rejected: %v", err)
+	}
+	if h, _ := pl.Host("h"); h.Cores != 1 {
+		t.Errorf("cores defaulted to %d, want 1", h.Cores)
+	}
+	if _, err := pl.AddHost("h", 1e9, 1); err == nil {
+		t.Error("duplicate host accepted")
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	pl := New()
+	if _, err := pl.AddLink("l", -1, 0); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	if _, err := pl.AddLink("l", 1e6, -1); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := pl.AddLink("l", 1e6, 1e-6); err != nil {
+		t.Fatalf("valid link rejected: %v", err)
+	}
+	if _, err := pl.AddLink("l", 1e6, 1e-6); err == nil {
+		t.Error("duplicate link accepted")
+	}
+}
+
+func TestRouteTransferTime(t *testing.T) {
+	pl := New()
+	pl.AddHost("a", 1e9, 1)
+	pl.AddHost("b", 1e9, 1)
+	pl.AddLink("l1", 1e6, 1e-3) // 1 MB/s, 1 ms
+	pl.AddLink("l2", 2e6, 2e-3) // 2 MB/s, 2 ms
+	if err := pl.AddRoute("a", "b", "l1", "l2"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pl.Route("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency 3 ms, bottleneck 1 MB/s → 1 MB transfer = 3e-3 + 1 s.
+	if got := r.TransferTime(1e6); math.Abs(got-1.003) > 1e-12 {
+		t.Fatalf("TransferTime = %v, want 1.003", got)
+	}
+	// Zero bytes costs only latency.
+	if got := r.TransferTime(0); math.Abs(got-3e-3) > 1e-15 {
+		t.Fatalf("latency-only = %v, want 0.003", got)
+	}
+}
+
+func TestRouteSymmetric(t *testing.T) {
+	pl := New()
+	pl.AddHost("a", 1e9, 1)
+	pl.AddHost("b", 1e9, 1)
+	pl.AddLink("l", 1e6, 1e-3)
+	pl.AddRoute("a", "b", "l")
+	if _, err := pl.Route("b", "a"); err != nil {
+		t.Fatalf("reverse route missing: %v", err)
+	}
+}
+
+func TestLoopbackRouteFree(t *testing.T) {
+	pl := New()
+	pl.AddHost("a", 1e9, 1)
+	r, err := pl.Route("a", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.TransferTime(1e9); got != 0 {
+		t.Fatalf("loopback transfer = %v, want 0", got)
+	}
+}
+
+func TestMissingRoute(t *testing.T) {
+	pl := New()
+	pl.AddHost("a", 1e9, 1)
+	pl.AddHost("b", 1e9, 1)
+	if _, err := pl.Route("a", "b"); err == nil {
+		t.Error("missing route did not error")
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	pl := New()
+	pl.AddHost("a", 1e9, 1)
+	if err := pl.AddRoute("a", "nope"); err == nil {
+		t.Error("route to unknown host accepted")
+	}
+	if err := pl.AddRoute("nope", "a"); err == nil {
+		t.Error("route from unknown host accepted")
+	}
+	pl.AddHost("b", 1e9, 1)
+	if err := pl.AddRoute("a", "b", "ghost-link"); err == nil {
+		t.Error("route over unknown link accepted")
+	}
+}
+
+func TestCluster(t *testing.T) {
+	pl, err := Cluster("node", 96, 1e6, 1e8, 50e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumHosts() != 97 {
+		t.Fatalf("hosts = %d, want 97", pl.NumHosts())
+	}
+	// Every worker is reachable from the master.
+	for i := 1; i <= 96; i++ {
+		r, err := pl.Route("node-0", "node-"+strconv.Itoa(i))
+		if err != nil {
+			t.Fatalf("route to worker %d: %v", i, err)
+		}
+		if got := r.Latency(); math.Abs(got-100e-6) > 1e-12 {
+			t.Fatalf("worker %d latency = %v, want 100us (backbone+link)", i, got)
+		}
+	}
+}
+
+func TestClusterSmall(t *testing.T) {
+	if _, err := Cluster("c", 0, 1, 1, 0); err == nil {
+		t.Error("0-worker cluster accepted")
+	}
+}
+
+func TestHeterogeneous(t *testing.T) {
+	pl, err := Heterogeneous("h", []float64{1e6, 2e6, 4e6}, 1e8, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := pl.Host("h-0")
+	if m.Speed != 4e6 {
+		t.Fatalf("master speed = %v, want max worker speed", m.Speed)
+	}
+	w2, _ := pl.Host("h-2")
+	if w2.Speed != 2e6 {
+		t.Fatalf("worker 2 speed = %v", w2.Speed)
+	}
+	if _, err := Heterogeneous("h", nil, 1, 0); err == nil {
+		t.Error("empty speeds accepted")
+	}
+}
+
+func TestFreeNetworkIsCheap(t *testing.T) {
+	bw, lat := FreeNetwork()
+	pl := New()
+	pl.AddHost("m", 1e9, 1)
+	pl.AddHost("w", 1e9, 1)
+	pl.AddLink("l", bw, lat)
+	pl.AddRoute("m", "w", "l")
+	r, _ := pl.Route("m", "w")
+	// A 1 KB message must cost well under a microsecond.
+	if got := r.TransferTime(1024); got > 1e-6 {
+		t.Fatalf("free-network transfer = %v", got)
+	}
+}
+
+func TestHostsSorted(t *testing.T) {
+	pl := New()
+	pl.AddHost("b", 1, 1)
+	pl.AddHost("a", 1, 1)
+	pl.AddHost("c", 1, 1)
+	hosts := pl.Hosts()
+	if hosts[0].Name != "a" || hosts[1].Name != "b" || hosts[2].Name != "c" {
+		t.Fatalf("hosts not sorted: %v", []string{hosts[0].Name, hosts[1].Name, hosts[2].Name})
+	}
+}
+
+func TestEmptyRouteBandwidthInfinite(t *testing.T) {
+	var r Route
+	if !math.IsInf(r.Bandwidth(), 1) {
+		t.Fatal("empty route bandwidth not infinite")
+	}
+}
+
+func TestUnknownLookups(t *testing.T) {
+	pl := New()
+	if _, err := pl.Host("x"); err == nil || !strings.Contains(err.Error(), "x") {
+		t.Error("unknown host lookup")
+	}
+	if _, err := pl.Link("x"); err == nil {
+		t.Error("unknown link lookup")
+	}
+}

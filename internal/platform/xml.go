@@ -1,0 +1,312 @@
+package platform
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file reads and writes the SimGrid-flavoured XML subset used by the
+// experiments: a platform file describing hosts, links and routes, and a
+// deployment file mapping processes to hosts — the two inputs paper §II
+// describes ("the application information is given in the SimGrid-MSG
+// deployment file ... In the SimGrid-MSG platform file, the system
+// information is specified").
+//
+// Supported platform grammar (SimGrid DTD v4 subset):
+//
+//	<platform version="4.1">
+//	  <zone id="z" routing="Full">
+//	    <host id="h0" speed="1Gf" core="1"/>
+//	    <link id="l0" bandwidth="125MBps" latency="50us"/>
+//	    <route src="h0" dst="h1"><link_ctn id="l0"/></route>
+//	  </zone>
+//	</platform>
+//
+// Units: speeds accept f/Kf/Mf/Gf suffixes, bandwidths Bps/KBps/MBps/GBps,
+// latencies s/ms/us/ns; bare numbers are base units.
+
+type xmlPlatform struct {
+	XMLName xml.Name `xml:"platform"`
+	Version string   `xml:"version,attr"`
+	Zone    xmlZone  `xml:"zone"`
+}
+
+type xmlZone struct {
+	ID      string     `xml:"id,attr"`
+	Routing string     `xml:"routing,attr"`
+	Hosts   []xmlHost  `xml:"host"`
+	Links   []xmlLink  `xml:"link"`
+	Routes  []xmlRoute `xml:"route"`
+}
+
+type xmlHost struct {
+	ID    string `xml:"id,attr"`
+	Speed string `xml:"speed,attr"`
+	Core  string `xml:"core,attr,omitempty"`
+}
+
+type xmlLink struct {
+	ID        string `xml:"id,attr"`
+	Bandwidth string `xml:"bandwidth,attr"`
+	Latency   string `xml:"latency,attr"`
+}
+
+type xmlRoute struct {
+	Src   string       `xml:"src,attr"`
+	Dst   string       `xml:"dst,attr"`
+	Links []xmlLinkCtn `xml:"link_ctn"`
+}
+
+type xmlLinkCtn struct {
+	ID string `xml:"id,attr"`
+}
+
+// unitTable maps suffixes to multipliers per quantity class.
+var (
+	speedUnits = map[string]float64{"f": 1, "Kf": 1e3, "Mf": 1e6, "Gf": 1e9, "Tf": 1e12}
+	bwUnits    = map[string]float64{"Bps": 1, "KBps": 1e3, "MBps": 1e6, "GBps": 1e9, "kBps": 1e3}
+	timeUnits  = map[string]float64{"s": 1, "ms": 1e-3, "us": 1e-6, "ns": 1e-9, "ps": 1e-12}
+)
+
+// parseQuantity parses "100MBps"-style values with the given unit table.
+func parseQuantity(s string, units map[string]float64) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("platform: empty quantity")
+	}
+	cut := len(s)
+	for cut > 0 {
+		c := s[cut-1]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == '+' || c == '-' {
+			break
+		}
+		cut--
+	}
+	num, suffix := s[:cut], s[cut:]
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("platform: bad quantity %q: %v", s, err)
+	}
+	if suffix == "" {
+		return v, nil
+	}
+	m, ok := units[suffix]
+	if !ok {
+		return 0, fmt.Errorf("platform: unknown unit %q in %q", suffix, s)
+	}
+	return v * m, nil
+}
+
+// formatQuantity renders v with the largest unit that keeps it >= 1.
+func formatQuantity(v float64, order []string, units map[string]float64) string {
+	best := ""
+	bestM := 1.0
+	for _, u := range order {
+		m := units[u]
+		if v >= m && m >= bestM {
+			best, bestM = u, m
+		}
+	}
+	if best == "" {
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strconv.FormatFloat(v/bestM, 'g', -1, 64) + best
+}
+
+// ParsePlatform reads a platform XML document.
+func ParsePlatform(r io.Reader) (*Platform, error) {
+	var doc xmlPlatform
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("platform: parse: %w", err)
+	}
+	pl := New()
+	for _, h := range doc.Zone.Hosts {
+		speed, err := parseQuantity(h.Speed, speedUnits)
+		if err != nil {
+			return nil, fmt.Errorf("platform: host %q: %w", h.ID, err)
+		}
+		cores := 1
+		if h.Core != "" {
+			cores, err = strconv.Atoi(h.Core)
+			if err != nil {
+				return nil, fmt.Errorf("platform: host %q core: %v", h.ID, err)
+			}
+		}
+		if _, err := pl.AddHost(h.ID, speed, cores); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range doc.Zone.Links {
+		bw, err := parseQuantity(l.Bandwidth, bwUnits)
+		if err != nil {
+			return nil, fmt.Errorf("platform: link %q: %w", l.ID, err)
+		}
+		lat, err := parseQuantity(l.Latency, timeUnits)
+		if err != nil {
+			return nil, fmt.Errorf("platform: link %q: %w", l.ID, err)
+		}
+		if _, err := pl.AddLink(l.ID, bw, lat); err != nil {
+			return nil, err
+		}
+	}
+	for _, rt := range doc.Zone.Routes {
+		names := make([]string, len(rt.Links))
+		for i, lc := range rt.Links {
+			names[i] = lc.ID
+		}
+		if err := pl.AddRoute(rt.Src, rt.Dst, names...); err != nil {
+			return nil, err
+		}
+	}
+	return pl, nil
+}
+
+// WritePlatform emits the platform as SimGrid-flavoured XML. Routes are
+// written in deterministic (sorted) order so output is reproducible.
+func WritePlatform(w io.Writer, pl *Platform) error {
+	doc := xmlPlatform{
+		Version: "4.1",
+		Zone:    xmlZone{ID: "zone0", Routing: "Full"},
+	}
+	for _, h := range pl.Hosts() {
+		doc.Zone.Hosts = append(doc.Zone.Hosts, xmlHost{
+			ID:    h.Name,
+			Speed: formatQuantity(h.Speed, []string{"f", "Kf", "Mf", "Gf", "Tf"}, speedUnits),
+			Core:  strconv.Itoa(h.Cores),
+		})
+	}
+	for _, l := range pl.Links() {
+		doc.Zone.Links = append(doc.Zone.Links, xmlLink{
+			ID:        l.Name,
+			Bandwidth: formatQuantity(l.Bandwidth, []string{"Bps", "KBps", "MBps", "GBps"}, bwUnits),
+			Latency:   strconv.FormatFloat(l.Latency, 'g', -1, 64) + "s",
+		})
+	}
+	keys := make([][2]string, 0, len(pl.routes))
+	for k := range pl.routes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rt := pl.routes[k]
+		xr := xmlRoute{Src: k[0], Dst: k[1]}
+		for _, l := range rt.Links {
+			xr.Links = append(xr.Links, xmlLinkCtn{ID: l.Name})
+		}
+		doc.Zone.Routes = append(doc.Zone.Routes, xr)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("platform: encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Deployment maps process functions to hosts, mirroring the SimGrid-MSG
+// deployment file ("Application Information" of paper Figure 2).
+type Deployment struct {
+	Processes []DeployedProcess
+}
+
+// DeployedProcess is one <process> entry.
+type DeployedProcess struct {
+	Host      string
+	Function  string
+	Arguments []string
+	StartTime float64
+}
+
+type xmlDeployment struct {
+	XMLName   xml.Name     `xml:"platform"`
+	Version   string       `xml:"version,attr"`
+	Processes []xmlProcess `xml:"process"`
+}
+
+type xmlProcess struct {
+	Host      string   `xml:"host,attr"`
+	Function  string   `xml:"function,attr"`
+	StartTime string   `xml:"start_time,attr,omitempty"`
+	Arguments []xmlArg `xml:"argument"`
+}
+
+type xmlArg struct {
+	Value string `xml:"value,attr"`
+}
+
+// ParseDeployment reads a deployment XML document.
+func ParseDeployment(r io.Reader) (*Deployment, error) {
+	var doc xmlDeployment
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("platform: deployment parse: %w", err)
+	}
+	d := &Deployment{}
+	for _, p := range doc.Processes {
+		dp := DeployedProcess{Host: p.Host, Function: p.Function}
+		for _, a := range p.Arguments {
+			dp.Arguments = append(dp.Arguments, a.Value)
+		}
+		if p.StartTime != "" {
+			t, err := strconv.ParseFloat(p.StartTime, 64)
+			if err != nil {
+				return nil, fmt.Errorf("platform: deployment start_time %q: %v", p.StartTime, err)
+			}
+			dp.StartTime = t
+		}
+		d.Processes = append(d.Processes, dp)
+	}
+	return d, nil
+}
+
+// WriteDeployment emits the deployment as XML.
+func WriteDeployment(w io.Writer, d *Deployment) error {
+	doc := xmlDeployment{Version: "4.1"}
+	for _, p := range d.Processes {
+		xp := xmlProcess{Host: p.Host, Function: p.Function}
+		if p.StartTime != 0 {
+			xp.StartTime = strconv.FormatFloat(p.StartTime, 'g', -1, 64)
+		}
+		for _, a := range p.Arguments {
+			xp.Arguments = append(xp.Arguments, xmlArg{Value: a})
+		}
+		doc.Processes = append(doc.Processes, xp)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("platform: deployment encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Validate checks a deployment against a platform: every process host
+// must exist.
+func (d *Deployment) Validate(pl *Platform) error {
+	for i, p := range d.Processes {
+		if _, err := pl.Host(p.Host); err != nil {
+			return fmt.Errorf("platform: deployment process %d (%s): %w", i, p.Function, err)
+		}
+		if p.Function == "" {
+			return fmt.Errorf("platform: deployment process %d on %q has no function", i, p.Host)
+		}
+	}
+	return nil
+}

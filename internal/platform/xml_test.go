@@ -1,0 +1,210 @@
+package platform
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+const samplePlatform = `<?xml version="1.0"?>
+<platform version="4.1">
+  <zone id="zone0" routing="Full">
+    <host id="master" speed="1Gf" core="1"/>
+    <host id="worker-1" speed="500Mf" core="2"/>
+    <link id="lan" bandwidth="125MBps" latency="50us"/>
+    <route src="master" dst="worker-1"><link_ctn id="lan"/></route>
+  </zone>
+</platform>`
+
+func TestParsePlatform(t *testing.T) {
+	pl, err := ParsePlatform(strings.NewReader(samplePlatform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pl.Host("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Speed != 1e9 {
+		t.Fatalf("master speed = %v, want 1e9", m.Speed)
+	}
+	w, _ := pl.Host("worker-1")
+	if w.Speed != 500e6 || w.Cores != 2 {
+		t.Fatalf("worker = %+v", w)
+	}
+	l, _ := pl.Link("lan")
+	if l.Bandwidth != 125e6 || math.Abs(l.Latency-50e-6) > 1e-15 {
+		t.Fatalf("link = %+v", l)
+	}
+	r, err := pl.Route("master", "worker-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Links) != 1 || r.Links[0].Name != "lan" {
+		t.Fatalf("route links = %v", r.Links)
+	}
+}
+
+func TestPlatformRoundTrip(t *testing.T) {
+	orig, err := Cluster("c", 4, 2e9, 1e8, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlatform(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePlatform(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if parsed.NumHosts() != orig.NumHosts() {
+		t.Fatalf("hosts %d != %d", parsed.NumHosts(), orig.NumHosts())
+	}
+	for _, h := range orig.Hosts() {
+		ph, err := parsed.Host(h.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ph.Speed-h.Speed) > 1e-6*h.Speed {
+			t.Fatalf("host %s speed %v != %v", h.Name, ph.Speed, h.Speed)
+		}
+	}
+	for _, l := range orig.Links() {
+		ol, err := parsed.Link(l.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ol.Latency-l.Latency) > 1e-12 {
+			t.Fatalf("link %s latency %v != %v", l.Name, ol.Latency, l.Latency)
+		}
+		if math.Abs(ol.Bandwidth-l.Bandwidth) > 1e-6*l.Bandwidth {
+			t.Fatalf("link %s bandwidth %v != %v", l.Name, ol.Bandwidth, l.Bandwidth)
+		}
+	}
+	// Route structure preserved.
+	r, err := parsed.Route("c-0", "c-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Links) != 2 {
+		t.Fatalf("route has %d links, want 2", len(r.Links))
+	}
+}
+
+func TestParseQuantity(t *testing.T) {
+	cases := []struct {
+		in    string
+		units map[string]float64
+		want  float64
+	}{
+		{"1Gf", speedUnits, 1e9},
+		{"2.5Mf", speedUnits, 2.5e6},
+		{"42", speedUnits, 42},
+		{"125MBps", bwUnits, 125e6},
+		{"50us", timeUnits, 50e-6},
+		{"1e-3s", timeUnits, 1e-3},
+		{"3ms", timeUnits, 3e-3},
+	}
+	for _, c := range cases {
+		got, err := parseQuantity(c.in, c.units)
+		if err != nil {
+			t.Errorf("parseQuantity(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9*math.Abs(c.want) {
+			t.Errorf("parseQuantity(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "fast", "1XBps", "abcf"} {
+		if _, err := parseQuantity(bad, bwUnits); err == nil {
+			t.Errorf("parseQuantity(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParsePlatformErrors(t *testing.T) {
+	bad := []string{
+		`not xml at all`,
+		`<platform version="4.1"><zone id="z" routing="Full"><host id="h" speed="oops"/></zone></platform>`,
+		`<platform version="4.1"><zone id="z" routing="Full"><host id="h" speed="1Gf" core="x"/></zone></platform>`,
+		`<platform version="4.1"><zone id="z" routing="Full"><host id="h" speed="1Gf"/><route src="h" dst="ghost"/></zone></platform>`,
+	}
+	for i, doc := range bad {
+		if _, err := ParsePlatform(strings.NewReader(doc)); err == nil {
+			t.Errorf("bad document %d accepted", i)
+		}
+	}
+}
+
+const sampleDeployment = `<?xml version="1.0"?>
+<platform version="4.1">
+  <process host="master" function="master">
+    <argument value="1024"/>
+    <argument value="FAC2"/>
+  </process>
+  <process host="worker-1" function="worker" start_time="2.5"/>
+</platform>`
+
+func TestParseDeployment(t *testing.T) {
+	d, err := ParseDeployment(strings.NewReader(sampleDeployment))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Processes) != 2 {
+		t.Fatalf("processes = %d", len(d.Processes))
+	}
+	m := d.Processes[0]
+	if m.Function != "master" || len(m.Arguments) != 2 || m.Arguments[1] != "FAC2" {
+		t.Fatalf("master = %+v", m)
+	}
+	if d.Processes[1].StartTime != 2.5 {
+		t.Fatalf("start_time = %v", d.Processes[1].StartTime)
+	}
+}
+
+func TestDeploymentRoundTrip(t *testing.T) {
+	orig := &Deployment{Processes: []DeployedProcess{
+		{Host: "a", Function: "master", Arguments: []string{"x", "y"}},
+		{Host: "b", Function: "worker", StartTime: 1.25},
+	}}
+	var buf bytes.Buffer
+	if err := WriteDeployment(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseDeployment(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Processes) != 2 {
+		t.Fatalf("processes = %d", len(parsed.Processes))
+	}
+	if parsed.Processes[0].Arguments[1] != "y" || parsed.Processes[1].StartTime != 1.25 {
+		t.Fatalf("round trip = %+v", parsed.Processes)
+	}
+}
+
+func TestDeploymentValidate(t *testing.T) {
+	pl := New()
+	pl.AddHost("a", 1e9, 1)
+	good := &Deployment{Processes: []DeployedProcess{{Host: "a", Function: "master"}}}
+	if err := good.Validate(pl); err != nil {
+		t.Fatalf("valid deployment rejected: %v", err)
+	}
+	badHost := &Deployment{Processes: []DeployedProcess{{Host: "ghost", Function: "master"}}}
+	if err := badHost.Validate(pl); err == nil {
+		t.Error("unknown host accepted")
+	}
+	noFn := &Deployment{Processes: []DeployedProcess{{Host: "a"}}}
+	if err := noFn.Validate(pl); err == nil {
+		t.Error("empty function accepted")
+	}
+}
+
+func TestParseDeploymentBadStartTime(t *testing.T) {
+	doc := `<platform version="4.1"><process host="a" function="f" start_time="soon"/></platform>`
+	if _, err := ParseDeployment(strings.NewReader(doc)); err == nil {
+		t.Error("bad start_time accepted")
+	}
+}

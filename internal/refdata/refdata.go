@@ -1,0 +1,42 @@
+// Package refdata ships the reference values the reproducibility harness
+// compares against, standing in for the numbers the paper took from the
+// original publications.
+//
+// Hagerup reference (Figures 5a–8a): the paper compares against exact
+// values from Table I of the BOLD publication, which this repository does
+// not possess. Instead, hagerup_data.go contains a pinned dataset
+// generated once by this repository's own Hagerup-replica simulator under
+// the documented seed below (see DESIGN.md §3.2 and cmd/genref). The
+// discrepancy methodology of the paper (Figures 5c–8d) runs unchanged
+// against it.
+//
+// Tzen–Ni reference (Figures 3a/4a): approximate digitizations of the
+// published speedup curves, encoded point by point in tzen.go with the
+// qualitative features §IV-A discusses (CSS/TSS near-linear, SS
+// saturating at the task-time/scheduling-cost ratio, GSS close to
+// linear).
+package refdata
+
+// Seed is the base seed under which the pinned Hagerup reference dataset
+// was generated (cmd/genref). Experiments comparing against the reference
+// must use a different seed, as the paper's simulations necessarily did
+// against the original publication's unknown RNG seed.
+const Seed uint64 = 0x486167657275 // "Hageru" bytes
+
+// Runs is the number of runs behind each reference value (as the paper:
+// 1000).
+const Runs = 1000
+
+// Wasted returns the reference average wasted time for (technique, n, p)
+// of the Hagerup grid, and whether the cell exists.
+func Wasted(tech string, n int64, p int) (float64, bool) {
+	v, ok := hagerupWasted[hagerupKey{tech, n, p}]
+	return v, ok
+}
+
+// hagerupKey indexes the pinned dataset.
+type hagerupKey struct {
+	tech string
+	n    int64
+	p    int
+}

@@ -1,0 +1,115 @@
+package refdata
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestWastedCoverage(t *testing.T) {
+	// Every cell of paper Table III must be present.
+	for _, tech := range sched.VerifiedNames() {
+		for _, n := range []int64{1024, 8192, 65536, 524288} {
+			for _, p := range []int{2, 8, 64, 256, 1024} {
+				v, ok := Wasted(tech, n, p)
+				if !ok {
+					t.Fatalf("missing reference cell %s n=%d p=%d", tech, n, p)
+				}
+				if v <= 0 {
+					t.Fatalf("non-positive reference %s n=%d p=%d: %v", tech, n, p, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWastedMissing(t *testing.T) {
+	if _, ok := Wasted("STAT", 999, 2); ok {
+		t.Error("bogus n found")
+	}
+	if _, ok := Wasted("NOPE", 1024, 2); ok {
+		t.Error("bogus technique found")
+	}
+}
+
+// TestReferenceShape pins the qualitative claims of the Hagerup
+// experiment that the paper's Figures 5a–8a exhibit.
+func TestReferenceShape(t *testing.T) {
+	get := func(tech string, n int64, p int) float64 {
+		v, ok := Wasted(tech, n, p)
+		if !ok {
+			t.Fatalf("missing %s/%d/%d", tech, n, p)
+		}
+		return v
+	}
+	// 1. SS is dominated by h·n/p for small p.
+	for _, n := range []int64{1024, 8192, 65536, 524288} {
+		floor := 0.5 * float64(n) / 2
+		if ss := get("SS", n, 2); ss < floor || ss > floor*1.1 {
+			t.Errorf("SS n=%d p=2 = %v, want ≈%v", n, ss, floor)
+		}
+	}
+	// 2. The paper quotes 1.3e5 s for the 524288-task experiment.
+	if ss := get("SS", 524288, 2); ss < 1.29e5 || ss > 1.32e5 {
+		t.Errorf("SS 524288/2 = %v, want ≈1.3e5", ss)
+	}
+	// 3. BOLD is lowest or near-lowest (within 2.5× of the best) in every
+	// cell — its design goal.
+	for _, n := range []int64{1024, 8192, 65536, 524288} {
+		for _, p := range []int{2, 8, 64, 256, 1024} {
+			best := get("STAT", n, p)
+			for _, tech := range sched.VerifiedNames() {
+				if v := get(tech, n, p); v < best {
+					best = v
+				}
+			}
+			if bold := get("BOLD", n, p); bold > 2.5*best {
+				t.Errorf("BOLD n=%d p=%d = %v, best = %v", n, p, bold, best)
+			}
+		}
+	}
+	// 4. STAT's wasted time grows with n at fixed small p (imbalance
+	// scales with chunk size under exponential variance).
+	if !(get("STAT", 1024, 2) < get("STAT", 65536, 2) && get("STAT", 65536, 2) < get("STAT", 524288, 2)) {
+		t.Error("STAT wasted time not increasing with n at p=2")
+	}
+}
+
+func TestTzenCurves(t *testing.T) {
+	for _, exp := range []int{1, 2} {
+		labels := TzenLabels(exp)
+		if len(labels) != 5 {
+			t.Fatalf("experiment %d labels = %v", exp, labels)
+		}
+		for _, l := range labels {
+			v, ok := TzenSpeedup(exp, l)
+			if !ok {
+				t.Fatalf("missing curve %d/%s", exp, l)
+			}
+			if len(v) != len(TzenPs) {
+				t.Fatalf("curve %d/%s has %d points, want %d", exp, l, len(v), len(TzenPs))
+			}
+			for i, s := range v {
+				if s <= 0 || s > float64(TzenPs[i]) {
+					t.Errorf("curve %d/%s point %d: speedup %v vs p=%d", exp, l, i, s, TzenPs[i])
+				}
+			}
+		}
+	}
+	if _, ok := TzenSpeedup(3, "SS"); ok {
+		t.Error("bogus experiment found")
+	}
+	if TzenLabels(9) != nil {
+		t.Error("bogus experiment labels")
+	}
+	// The documented qualitative contrast: SS saturates in experiment 1,
+	// CSS stays near-linear.
+	ss, _ := TzenSpeedup(1, "SS")
+	css, _ := TzenSpeedup(1, "CSS")
+	if ss[len(ss)-1] > 12 {
+		t.Errorf("SS should saturate low, got %v", ss[len(ss)-1])
+	}
+	if css[len(css)-1] < 70 {
+		t.Errorf("CSS should be near-linear, got %v", css[len(css)-1])
+	}
+}

@@ -1,0 +1,62 @@
+package refdata
+
+// Approximate digitizations of the speedup curves in the TSS publication
+// (Tzen & Ni 1993, Figs. 7 and 8; reproduced as Figures 3a and 4a of the
+// paper). Exact pixel values are unavailable; the curves below encode the
+// published qualitative behaviour the paper's §IV-A analysis relies on:
+//
+//   - Experiment 1 (100,000 × 110 µs): CSS and TSS near-linear (CSS
+//     reaches the quoted 69.2 at p = 72), GSS slightly below, SS
+//     saturating around 9 (task time over per-task scheduling cost on
+//     the BBN GP-1000).
+//   - Experiment 2 (10,000 × 2 ms): coarser tasks lift SS but memory
+//     contention bends it over; the chunked techniques stay near-linear.
+//
+// One point per PE count in TzenPs order.
+
+// TzenPs lists the PE counts of the digitized curves.
+var TzenPs = []int{2, 8, 16, 24, 32, 40, 48, 56, 64, 72, 80}
+
+var tzenExp1 = map[string][]float64{
+	"SS":      {1.9, 5.5, 7.5, 8.3, 8.7, 8.9, 9.0, 9.0, 9.0, 9.0, 9.0},
+	"CSS":     {1.9, 7.7, 15.4, 23.0, 30.7, 38.3, 46.0, 53.5, 61.0, 69.2, 76.0},
+	"GSS(1)":  {1.8, 7.2, 14.4, 21.5, 28.7, 35.8, 43.0, 50.0, 57.4, 64.5, 71.5},
+	"GSS(80)": {1.9, 7.4, 14.9, 22.3, 29.7, 37.1, 44.5, 51.8, 59.2, 66.5, 73.8},
+	"TSS":     {1.9, 7.6, 15.2, 22.8, 30.4, 38.0, 45.6, 53.1, 60.7, 68.2, 75.7},
+}
+
+var tzenExp2 = map[string][]float64{
+	"SS":     {1.95, 7.6, 14.6, 20.5, 25.5, 29.5, 32.5, 35.0, 37.0, 38.5, 40.0},
+	"CSS":    {1.9, 7.6, 15.2, 22.8, 30.4, 38.0, 45.6, 53.1, 60.7, 68.2, 75.7},
+	"GSS(1)": {1.8, 7.2, 14.4, 21.5, 28.7, 35.8, 43.0, 50.0, 57.4, 64.5, 71.5},
+	"GSS(5)": {1.9, 7.4, 14.9, 22.3, 29.7, 37.1, 44.5, 51.8, 59.2, 66.5, 73.8},
+	"TSS":    {1.9, 7.6, 15.2, 22.8, 30.4, 38.0, 45.6, 53.1, 60.7, 68.2, 75.7},
+}
+
+// TzenSpeedup returns the digitized reference speedups for the given
+// experiment (1 or 2) and curve label, aligned with TzenPs.
+func TzenSpeedup(experiment int, label string) ([]float64, bool) {
+	switch experiment {
+	case 1:
+		v, ok := tzenExp1[label]
+		return v, ok
+	case 2:
+		v, ok := tzenExp2[label]
+		return v, ok
+	default:
+		return nil, false
+	}
+}
+
+// TzenLabels returns the curve labels of the given experiment in plotting
+// order.
+func TzenLabels(experiment int) []string {
+	switch experiment {
+	case 1:
+		return []string{"SS", "CSS", "GSS(1)", "GSS(80)", "TSS"}
+	case 2:
+		return []string{"SS", "CSS", "GSS(1)", "GSS(5)", "TSS"}
+	default:
+		return nil
+	}
+}

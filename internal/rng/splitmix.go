@@ -1,0 +1,41 @@
+package rng
+
+// SplitMix64 is a tiny, high-quality 64-bit generator used only to derive
+// per-run seeds for the rand48 streams of an experiment. Deriving run
+// seeds by hashing (baseSeed, runIndex) keeps results bit-reproducible no
+// matter how many runs execute concurrently or in what order.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 generator with the given state.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next 64-bit value of the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return Mix64(s.state)
+}
+
+// Mix64 applies the SplitMix64 finalizer to x. It is a bijective avalanche
+// mix: every input bit affects roughly half the output bits.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// RunSeed derives the 48-bit rand48 state for run index run of an
+// experiment with the given base seed. Distinct (base, run) pairs map to
+// well-separated states.
+func RunSeed(base uint64, run int) uint64 {
+	return Mix64(base^Mix64(uint64(run)+0x632BE59BD9B4E019)) & mask48
+}
+
+// StreamFor returns a ready-to-use generator for run index run under base.
+func StreamFor(base uint64, run int) *Rand48 {
+	return FromState(RunSeed(base, run))
+}

@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements adaptive weighted factoring and its batch/chunk
+// variants (paper §II, listed as future verification work in §VI):
+//
+//   - AWF (Banicescu, Velusamy & Devaprasad, Cluster Computing 6(3),
+//     2003) was developed for time-stepping applications: weights are
+//     measured during one time step and applied during the next.
+//   - AWF-B and AWF-C (Cariño & Banicescu, 2008) adapt within a single
+//     loop execution, re-estimating the weights after each batch (B) or
+//     after each chunk (C).
+//
+// All three use the practical factoring batch rule (FAC2, x = 2), so —
+// like FAC2 — they need no prior knowledge of µ and σ; adaptivity comes
+// entirely from the measured execution rates fed back through Report.
+
+// perfTracker accumulates measured execution rates per PE.
+type perfTracker struct {
+	time  []float64 // cumulative chunk execution time per PE
+	tasks []int64   // cumulative tasks completed per PE
+}
+
+func newPerfTracker(p int) perfTracker {
+	return perfTracker{time: make([]float64, p), tasks: make([]int64, p)}
+}
+
+func (t *perfTracker) record(w int, chunk int64, elapsed float64) {
+	if w < 0 || w >= len(t.time) {
+		return
+	}
+	t.time[w] += elapsed
+	t.tasks[w] += chunk
+}
+
+// covered reports whether every PE has completed at least one chunk, the
+// precondition for computing measured weights.
+func (t *perfTracker) covered() bool {
+	for _, n := range t.tasks {
+		if n == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// weights returns measured weights w_i ∝ tasks_i/time_i normalized to
+// Σw = p, or nil until every PE has reported at least one chunk.
+func (t *perfTracker) weights() []float64 {
+	if !t.covered() {
+		return nil
+	}
+	p := len(t.time)
+	w := make([]float64, p)
+	var sum float64
+	for i := range w {
+		if t.time[i] <= 0 {
+			// Infinitely fast PE measurement; treat as rate 1 to stay
+			// finite — the next real measurement corrects it.
+			w[i] = 1
+		} else {
+			w[i] = float64(t.tasks[i]) / t.time[i]
+		}
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] *= float64(p) / sum
+	}
+	return w
+}
+
+// awfCore is the machinery shared by the three AWF variants.
+type awfCore struct {
+	base
+	tracker    perfTracker
+	weights    []float64
+	batchBase  float64
+	batchLeft  int
+	adaptBatch bool // recompute weights at batch boundaries (AWF-B)
+	adaptChunk bool // recompute weights at every request (AWF-C)
+}
+
+func newAWFCore(name string, p Params, adaptBatch, adaptChunk bool) (*awfCore, error) {
+	b, err := newBase(name, p)
+	if err != nil {
+		return nil, err
+	}
+	w, err := normWeights(p.Weights, p.P)
+	if err != nil {
+		return nil, err
+	}
+	return &awfCore{
+		base:       b,
+		tracker:    newPerfTracker(p.P),
+		weights:    w,
+		adaptBatch: adaptBatch,
+		adaptChunk: adaptChunk,
+	}, nil
+}
+
+// Next hands worker w its weighted share of the current FAC2-style batch.
+func (s *awfCore) Next(w int, _ float64) int64 {
+	if s.remaining <= 0 {
+		return 0
+	}
+	if w < 0 || w >= s.p {
+		panic(fmt.Sprintf("sched: %s worker index %d out of range [0,%d)", s.name, w, s.p))
+	}
+	if s.batchLeft == 0 {
+		if s.adaptBatch {
+			s.refreshWeights()
+		}
+		s.batchBase = float64(ceilDiv(s.remaining, 2*int64(s.p)))
+		s.batchLeft = s.p
+	}
+	if s.adaptChunk {
+		s.refreshWeights()
+	}
+	s.batchLeft--
+	return s.take(int64(math.Ceil(s.weights[w] * s.batchBase)))
+}
+
+func (s *awfCore) refreshWeights() {
+	if w := s.tracker.weights(); w != nil {
+		s.weights = w
+	}
+}
+
+// Report feeds measured chunk execution back into the weight estimates.
+func (s *awfCore) Report(w int, chunk int64, elapsed, _ float64) {
+	s.tracker.record(w, chunk, elapsed)
+}
+
+// UpdatedWeights returns the weights measured during this execution,
+// normalized to Σ = p. For AWF proper this is what a time-stepping
+// application passes as Params.Weights of the next time step. Returns the
+// construction weights if some PE never completed a chunk.
+func (s *awfCore) UpdatedWeights() []float64 {
+	if w := s.tracker.weights(); w != nil {
+		return w
+	}
+	out := make([]float64, len(s.weights))
+	copy(out, s.weights)
+	return out
+}
+
+// AWF adapts weights between time steps: within one loop execution the
+// weights are fixed (supplied from the previous step's measurements via
+// Params.Weights); UpdatedWeights exposes this step's measurements.
+type AWF struct{ awfCore }
+
+// NewAWF returns a time-step-adaptive weighted factoring scheduler.
+func NewAWF(p Params) (*AWF, error) {
+	c, err := newAWFCore("AWF", p, false, false)
+	if err != nil {
+		return nil, err
+	}
+	return &AWF{awfCore: *c}, nil
+}
+
+// AWFB adapts the weights after every scheduling batch.
+type AWFB struct{ awfCore }
+
+// NewAWFB returns a batch-adaptive weighted factoring scheduler.
+func NewAWFB(p Params) (*AWFB, error) {
+	c, err := newAWFCore("AWF-B", p, true, false)
+	if err != nil {
+		return nil, err
+	}
+	return &AWFB{awfCore: *c}, nil
+}
+
+// AWFC adapts the weights at every chunk request.
+type AWFC struct{ awfCore }
+
+// NewAWFC returns a chunk-adaptive weighted factoring scheduler.
+func NewAWFC(p Params) (*AWFC, error) {
+	c, err := newAWFCore("AWF-C", p, false, true)
+	if err != nil {
+		return nil, err
+	}
+	return &AWFC{awfCore: *c}, nil
+}

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// FAC is factoring (Hummel, Schonberg & Flynn, CACM 35(8), 1992). Tasks
+// are scheduled in batches of p equal chunks; the fraction of the
+// remaining work allocated per batch adapts to the coefficient of
+// variation of the task times, addressing both algorithmic and systemic
+// variance (paper §II):
+//
+//	b_j = (p / (2√r_j)) · (σ/µ)
+//	x_0 = 1 + b_0² + b_0·√(b_0² + 4)        (first batch)
+//	x_j = 2 + b_j² + b_j·√(b_j² + 4)        (later batches)
+//	K_j = ⌈ r_j / (x_j · p) ⌉
+//
+// as tabulated in Banicescu & Cariño, ETNA 21, 2005. With σ → 0 the rule
+// approaches allocating half (1/x, x→2) of the remaining work per batch,
+// which is exactly FAC2.
+type FAC struct {
+	base
+	mu, sigma float64
+
+	batchChunk int64 // chunk size of the current batch
+	batchLeft  int   // chunks still to hand out in the current batch
+	batchIndex int64 // 0 for the first batch
+}
+
+// NewFAC returns a factoring scheduler. It requires µ and σ (paper
+// Table II); σ = 0 is permitted and degenerates towards FAC2 behaviour.
+func NewFAC(p Params) (*FAC, error) {
+	b, err := newBase("FAC", p)
+	if err != nil {
+		return nil, err
+	}
+	if p.Mu <= 0 {
+		return nil, fmt.Errorf("sched: FAC requires mu > 0, got %v", p.Mu)
+	}
+	if p.Sigma < 0 {
+		return nil, fmt.Errorf("sched: FAC requires sigma >= 0, got %v", p.Sigma)
+	}
+	return &FAC{base: b, mu: p.Mu, sigma: p.Sigma}, nil
+}
+
+// Next hands out the current batch chunk, computing a new batch factor
+// whenever the previous batch's p chunks are exhausted.
+func (s *FAC) Next(_ int, _ float64) int64 {
+	if s.remaining <= 0 {
+		return 0
+	}
+	if s.batchLeft == 0 {
+		s.batchChunk = facBatchChunk(s.remaining, s.p, s.mu, s.sigma, s.batchIndex == 0)
+		s.batchLeft = s.p
+		s.batchIndex++
+	}
+	s.batchLeft--
+	return s.take(s.batchChunk)
+}
+
+// facBatchChunk computes K_j for a batch starting with r remaining tasks.
+func facBatchChunk(r int64, p int, mu, sigma float64, first bool) int64 {
+	b := float64(p) / (2 * math.Sqrt(float64(r))) * (sigma / mu)
+	x := 2 + b*b + b*math.Sqrt(b*b+4)
+	if first {
+		x = 1 + b*b + b*math.Sqrt(b*b+4)
+	}
+	k := int64(math.Ceil(float64(r) / (x * float64(p))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,38 @@
+package sched
+
+// FAC2 is the practical variant of factoring the FAC publication
+// recommends when µ and σ are unknown in advance (paper §II): each batch
+// simply allocates half of the remaining work, evenly split into p
+// chunks:
+//
+//	K_j = ⌈ r_j / (2p) ⌉
+//
+// so the chunk-size sequence is n/2p, n/4p, n/8p, … This requires no
+// statistical knowledge at all yet "works well in practice".
+type FAC2 struct {
+	base
+	batchChunk int64
+	batchLeft  int
+}
+
+// NewFAC2 returns a fixed-factor (x = 2) factoring scheduler.
+func NewFAC2(p Params) (*FAC2, error) {
+	b, err := newBase("FAC2", p)
+	if err != nil {
+		return nil, err
+	}
+	return &FAC2{base: b}, nil
+}
+
+// Next hands out ⌈r/(2p)⌉-sized chunks in batches of p.
+func (s *FAC2) Next(_ int, _ float64) int64 {
+	if s.remaining <= 0 {
+		return 0
+	}
+	if s.batchLeft == 0 {
+		s.batchChunk = ceilDiv(s.remaining, 2*int64(s.p))
+		s.batchLeft = s.p
+	}
+	s.batchLeft--
+	return s.take(s.batchChunk)
+}

@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// FSC is fixed size chunking (Kruskal & Weiss, 1985), the first DLS
+// technique (paper §II). It chooses one chunk size for the whole loop by
+// balancing the scheduling overhead h against the expected load imbalance
+// caused by the task-time variance:
+//
+//	K_FSC = ( (√2 · n · h) / (σ · p · √(ln p)) )^(2/3)
+//
+// The formula assumes p ≥ 2 and σ > 0; the degenerate cases fall back to
+// static chunking (no variance or a single PE means overhead is the only
+// cost, so the fewest possible operations win).
+type FSC struct {
+	base
+	chunk int64
+}
+
+// NewFSC returns a fixed-size-chunking scheduler. It requires h and σ
+// (paper Table II); µ is accepted for symmetry but unused by the formula.
+func NewFSC(p Params) (*FSC, error) {
+	b, err := newBase("FSC", p)
+	if err != nil {
+		return nil, err
+	}
+	if p.H < 0 {
+		return nil, fmt.Errorf("sched: FSC requires h >= 0, got %v", p.H)
+	}
+	if p.Sigma < 0 {
+		return nil, fmt.Errorf("sched: FSC requires sigma >= 0, got %v", p.Sigma)
+	}
+	return &FSC{base: b, chunk: fscChunk(p)}, nil
+}
+
+func fscChunk(p Params) int64 {
+	n := float64(p.N)
+	pe := float64(p.P)
+	if p.P < 2 || p.Sigma == 0 || p.H == 0 {
+		// No variance to balance against (or no overhead to amortize):
+		// the optimum degenerates. With σ=0 any chunking is balanced, so
+		// minimize operations; with h=0 operations are free, so chunk
+		// size 1 would also be optimal, but static keeps the comparison
+		// with the paper's experiments meaningful (Hagerup sets h>0).
+		return ceilDiv(p.N, int64(p.P))
+	}
+	k := math.Pow(math.Sqrt2*n*p.H/(p.Sigma*pe*math.Sqrt(math.Log(pe))), 2.0/3.0)
+	c := int64(math.Ceil(k))
+	if c < 1 {
+		c = 1
+	}
+	if max := ceilDiv(p.N, int64(p.P)); c > max {
+		c = max
+	}
+	return c
+}
+
+// Next assigns the precomputed fixed chunk.
+func (s *FSC) Next(_ int, _ float64) int64 { return s.take(s.chunk) }
+
+// ChunkSize exposes the computed K_FSC for tests and documentation.
+func (s *FSC) ChunkSize() int64 { return s.chunk }

@@ -1,0 +1,42 @@
+package sched
+
+import "fmt"
+
+// GSS is guided self scheduling (Polychronopoulos & Kuck, 1987). Each
+// requesting PE receives ⌈r/p⌉ of the r remaining tasks, so chunk sizes
+// decay geometrically: large early chunks amortize overhead, small late
+// chunks smooth out uneven PE finishing times (the technique was designed
+// for uneven PE starting times, paper §II).
+//
+// GSS(k) bounds the chunk from below by k, the variant the TSS
+// publication measures with k = 1, 2, 5, 10, 20, 80.
+type GSS struct {
+	base
+	min int64
+}
+
+// NewGSS returns a guided-self-scheduling scheduler. Params.MinChunk
+// selects k (0 selects 1).
+func NewGSS(p Params) (*GSS, error) {
+	b, err := newBase("GSS", p)
+	if err != nil {
+		return nil, err
+	}
+	k := p.MinChunk
+	if k < 0 {
+		return nil, fmt.Errorf("sched: GSS requires MinChunk >= 0, got %d", k)
+	}
+	if k == 0 {
+		k = 1
+	}
+	return &GSS{base: b, min: k}, nil
+}
+
+// Next assigns max(k, ⌈remaining/p⌉).
+func (s *GSS) Next(_ int, _ float64) int64 {
+	want := ceilDiv(s.remaining, int64(s.p))
+	if want < s.min {
+		want = s.min
+	}
+	return s.take(want)
+}

@@ -1,0 +1,278 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// drain runs a scheduler to exhaustion in round-robin worker order,
+// reporting each chunk as taking chunk*mu seconds, and returns the chunk
+// sequence.
+func drain(t *testing.T, s Scheduler, p int, mu float64) []int64 {
+	t.Helper()
+	var chunks []int64
+	now := 0.0
+	for i := 0; ; i++ {
+		w := i % p
+		c := s.Next(w, now)
+		if c == 0 {
+			break
+		}
+		if c < 0 {
+			t.Fatalf("%s: negative chunk %d", s.Name(), c)
+		}
+		elapsed := float64(c) * mu
+		now += elapsed
+		s.Report(w, c, elapsed, now)
+		chunks = append(chunks, c)
+		if len(chunks) > 1<<22 {
+			t.Fatalf("%s: runaway scheduler, >4M chunks", s.Name())
+		}
+	}
+	return chunks
+}
+
+// hagerupParams returns the parameter set of the Hagerup experiment for
+// arbitrary n and p: exponential task times µ = σ = 1 s, h = 0.5 s.
+func hagerupParams(n int64, p int) Params {
+	return Params{N: n, P: p, H: 0.5, Mu: 1, Sigma: 1}
+}
+
+func sum(chunks []int64) int64 {
+	var s int64
+	for _, c := range chunks {
+		s += c
+	}
+	return s
+}
+
+// TestInvariantsAllTechniques checks, for every registered technique over
+// a grid of (n, p), that chunks are positive, sum to n, Next returns 0
+// after exhaustion, and Chunks() counts scheduling operations.
+func TestInvariantsAllTechniques(t *testing.T) {
+	ns := []int64{1, 2, 7, 64, 1000, 1024, 8192}
+	ps := []int{1, 2, 3, 8, 64, 256}
+	for _, name := range Names() {
+		for _, n := range ns {
+			for _, p := range ps {
+				s, err := New(name, hagerupParams(n, p))
+				if err != nil {
+					t.Fatalf("New(%s, n=%d, p=%d): %v", name, n, p, err)
+				}
+				chunks := drain(t, s, p, 1)
+				if got := sum(chunks); got != n {
+					t.Errorf("%s n=%d p=%d: chunks sum to %d", name, n, p, got)
+				}
+				if s.Remaining() != 0 {
+					t.Errorf("%s n=%d p=%d: remaining %d after drain", name, n, p, s.Remaining())
+				}
+				if got := s.Chunks(); got != int64(len(chunks)) {
+					t.Errorf("%s n=%d p=%d: Chunks() = %d, want %d", name, n, p, got, len(chunks))
+				}
+				for round := 0; round < 3; round++ {
+					if c := s.Next(round%p, 1e9); c != 0 {
+						t.Errorf("%s n=%d p=%d: Next after exhaustion = %d", name, n, p, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantsQuick drives every technique with randomized parameters
+// via testing/quick.
+func TestInvariantsQuick(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		f := func(nRaw uint16, pRaw uint8, muRaw, sigmaRaw uint8) bool {
+			n := int64(nRaw)%5000 + 1
+			p := int(pRaw)%32 + 1
+			mu := float64(muRaw)/16 + 0.05
+			sigma := float64(sigmaRaw) / 32
+			s, err := New(name, Params{N: n, P: p, H: 0.25, Mu: mu, Sigma: sigma})
+			if err != nil {
+				return false
+			}
+			var total int64
+			now := 0.0
+			for i := 0; ; i++ {
+				c := s.Next(i%p, now)
+				if c == 0 {
+					break
+				}
+				if c < 1 || c > n {
+					return false
+				}
+				total += c
+				now += float64(c) * mu
+				s.Report(i%p, c, float64(c)*mu, now)
+				if total > n {
+					return false
+				}
+			}
+			return total == n && s.Remaining() == 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestDecreasingChunkTechniques: GSS, TSS, FAC2, BOLD and TAP must issue
+// non-increasing chunk sizes (within tolerance of 1 task for rounding).
+func TestDecreasingChunkTechniques(t *testing.T) {
+	for _, name := range []string{"GSS", "TSS", "FAC2", "TAP"} {
+		s, err := New(name, hagerupParams(8192, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks := drain(t, s, 8, 1)
+		for i := 1; i < len(chunks); i++ {
+			if chunks[i] > chunks[i-1]+1 {
+				t.Errorf("%s: chunk %d grew: %d -> %d", name, i, chunks[i-1], chunks[i])
+				break
+			}
+		}
+	}
+}
+
+// TestSchedulingOperationCounts pins the closed-form operation counts the
+// wasted-time accounting depends on: STAT issues exactly min(p, n) ops,
+// SS exactly n ops.
+func TestSchedulingOperationCounts(t *testing.T) {
+	cases := []struct {
+		n int64
+		p int
+	}{{1024, 2}, {1024, 8}, {1024, 1024}, {8192, 64}, {100, 7}}
+	for _, c := range cases {
+		stat, _ := New("STAT", hagerupParams(c.n, c.p))
+		chunks := drain(t, stat, c.p, 1)
+		wantOps := int64(c.p)
+		if int64(c.p) > c.n {
+			wantOps = c.n
+		}
+		if int64(len(chunks)) != wantOps {
+			t.Errorf("STAT n=%d p=%d: %d ops, want %d", c.n, c.p, len(chunks), wantOps)
+		}
+		ss, _ := New("SS", hagerupParams(c.n, c.p))
+		if got := int64(len(drain(t, ss, c.p, 1))); got != c.n {
+			t.Errorf("SS n=%d p=%d: %d ops, want %d", c.n, c.p, got, c.n)
+		}
+	}
+}
+
+// TestOperationOrdering verifies the qualitative ordering the Hagerup
+// experiment exhibits: for a large loop, BOLD and the factoring family
+// issue far fewer scheduling operations than SS, and BOLD issues no more
+// than twice FAC's (boldness means fewer or comparable, never wildly
+// more).
+func TestOperationOrdering(t *testing.T) {
+	const n, p = 65536, 64
+	ops := map[string]int64{}
+	for _, name := range []string{"SS", "GSS", "FAC", "FAC2", "BOLD", "TSS"} {
+		s, err := New(name, hagerupParams(n, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops[name] = int64(len(drain(t, s, p, 1)))
+	}
+	for _, name := range []string{"GSS", "FAC", "FAC2", "BOLD", "TSS"} {
+		if ops[name]*10 > ops["SS"] {
+			t.Errorf("%s used %d ops, expected <10%% of SS's %d", name, ops[name], ops["SS"])
+		}
+	}
+	if ops["BOLD"] > 2*ops["FAC"] {
+		t.Errorf("BOLD used %d ops vs FAC %d; expected bolder (fewer or comparable)", ops["BOLD"], ops["FAC"])
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	if _, err := New("GSS", Params{N: 0, P: 4}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := New("GSS", Params{N: 10, P: 0}); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := New("nope", Params{N: 10, P: 1}); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := New("FAC", Params{N: 10, P: 2, Mu: 0, Sigma: 1}); err == nil {
+		t.Error("FAC with mu=0 accepted")
+	}
+	if _, err := New("TSS", Params{N: 10, P: 2, First: 1, Last: 5}); err == nil {
+		t.Error("TSS with last>first accepted")
+	}
+	if _, err := New("WF", Params{N: 10, P: 2, Mu: 1, Weights: []float64{1, -1}}); err == nil {
+		t.Error("WF with negative weight accepted")
+	}
+	if _, err := New("WF", Params{N: 10, P: 2, Mu: 1, Weights: []float64{1, 1, 1}}); err == nil {
+		t.Error("WF with wrong weight count accepted")
+	}
+}
+
+// TestRequirementsTableII reproduces paper Table II.
+func TestRequirementsTableII(t *testing.T) {
+	want := map[string][]Param{
+		"STAT": {ParamN, ParamP},
+		"SS":   {},
+		"FSC":  {ParamH, ParamN, ParamP, ParamSigma},
+		"GSS":  {ParamP, ParamR},
+		"TSS":  {ParamF, ParamL, ParamN, ParamP},
+		"FAC":  {ParamMu, ParamP, ParamR, ParamSigma},
+		"FAC2": {ParamP, ParamR},
+		"BOLD": {ParamH, ParamM, ParamMu, ParamP, ParamR, ParamSigma},
+	}
+	for name, wantParams := range want {
+		got, err := Requirements(name)
+		if err != nil {
+			t.Fatalf("Requirements(%s): %v", name, err)
+		}
+		if len(got) != len(wantParams) {
+			t.Errorf("Requirements(%s) = %v, want %v", name, got, wantParams)
+			continue
+		}
+		for i := range got {
+			if got[i] != wantParams[i] {
+				t.Errorf("Requirements(%s) = %v, want %v", name, got, wantParams)
+				break
+			}
+		}
+	}
+	if _, err := Requirements("bogus"); err == nil {
+		t.Error("Requirements(bogus) succeeded")
+	}
+}
+
+func TestNamesStable(t *testing.T) {
+	n := Names()
+	if len(n) != 15 {
+		t.Fatalf("Names() has %d entries, want 15", len(n))
+	}
+	if n[0] != "STAT" || n[8] != "BOLD" {
+		t.Fatalf("Names() order changed: %v", n)
+	}
+	v := VerifiedNames()
+	if len(v) != 8 || v[0] != "STAT" || v[7] != "BOLD" {
+		t.Fatalf("VerifiedNames() = %v", v)
+	}
+	for _, name := range n {
+		if _, err := New(name, hagerupParams(100, 4)); err != nil {
+			t.Errorf("registered name %s fails to construct: %v", name, err)
+		}
+	}
+}
+
+// TestNormWeights checks normalization of PE weights.
+func TestNormWeights(t *testing.T) {
+	w, err := normWeights([]float64{1, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-0.5) > 1e-12 || math.Abs(w[1]-1.5) > 1e-12 {
+		t.Fatalf("normWeights = %v", w)
+	}
+	if w, _ := normWeights(nil, 3); w[0] != 1 || w[1] != 1 || w[2] != 1 {
+		t.Fatalf("nil weights = %v", w)
+	}
+}

@@ -1,0 +1,23 @@
+package sched
+
+// SS is self scheduling, the very fine grained naive approach of paper
+// §II: each of the n tasks is dynamically assigned one at a time to the
+// next available PE. Load balancing is near-perfect but every task costs
+// one scheduling operation, so the overhead term h·n dominates for cheap
+// tasks — the effect both reproduced experiments exhibit.
+type SS struct {
+	base
+}
+
+// NewSS returns a self-scheduling scheduler. SS needs no parameters
+// beyond the task count (paper Table II lists none).
+func NewSS(p Params) (*SS, error) {
+	b, err := newBase("SS", p)
+	if err != nil {
+		return nil, err
+	}
+	return &SS{base: b}, nil
+}
+
+// Next assigns exactly one task.
+func (s *SS) Next(_ int, _ float64) int64 { return s.take(1) }

@@ -1,0 +1,24 @@
+package sched
+
+// STAT is static chunking: ⌈n/p⌉ tasks are assigned to each PE in a
+// single scheduling operation before computation starts (paper §II). It
+// has negligible scheduling overhead but no ability to correct load
+// imbalance: with high-variance task times its wasted time grows with the
+// chunk size, which is what the Hagerup experiment exposes.
+type STAT struct {
+	base
+	chunk int64
+}
+
+// NewSTAT returns a static-chunking scheduler for the given parameters.
+func NewSTAT(p Params) (*STAT, error) {
+	b, err := newBase("STAT", p)
+	if err != nil {
+		return nil, err
+	}
+	return &STAT{base: b, chunk: ceilDiv(p.N, int64(p.P))}, nil
+}
+
+// Next assigns the precomputed static chunk. The last PE may receive a
+// smaller remainder chunk so that exactly n tasks are scheduled.
+func (s *STAT) Next(_ int, _ float64) int64 { return s.take(s.chunk) }

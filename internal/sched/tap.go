@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// TAP is the taper strategy (Lucco, PLDI 1992), a refinement of guided
+// self scheduling that subtracts a variance-dependent safety margin from
+// the guided chunk so that the probability of one chunk overshooting the
+// remaining fair share stays bounded:
+//
+//	T_i = r_i / p                  (guided fair share)
+//	v_α = α · σ/µ                  (confidence scaling)
+//	K_i = T_i + v_α²/2 − v_α·√(2·T_i + v_α²/4)
+//
+// α is the number of standard deviations of safety; Lucco suggests
+// α ≈ 1.3 (roughly a 90 % one-sided confidence level), which is the
+// default here. The paper lists TAP as future verification work (§VI);
+// it is included as an extension.
+type TAP struct {
+	base
+	v float64 // v_α = α·σ/µ
+}
+
+// NewTAP returns a taper scheduler. Params.Alpha selects α (0 selects
+// 1.3); µ > 0 is required, σ = 0 degenerates to GSS(1).
+func NewTAP(p Params) (*TAP, error) {
+	b, err := newBase("TAP", p)
+	if err != nil {
+		return nil, err
+	}
+	if p.Mu <= 0 {
+		return nil, fmt.Errorf("sched: TAP requires mu > 0, got %v", p.Mu)
+	}
+	if p.Sigma < 0 {
+		return nil, fmt.Errorf("sched: TAP requires sigma >= 0, got %v", p.Sigma)
+	}
+	alpha := p.Alpha
+	if alpha == 0 {
+		alpha = 1.3
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("sched: TAP requires alpha >= 0, got %v", p.Alpha)
+	}
+	return &TAP{base: b, v: alpha * p.Sigma / p.Mu}, nil
+}
+
+// Next assigns the tapered guided chunk.
+func (s *TAP) Next(_ int, _ float64) int64 {
+	if s.remaining <= 0 {
+		return 0
+	}
+	t := float64(s.remaining) / float64(s.p)
+	k := t + s.v*s.v/2 - s.v*math.Sqrt(2*t+s.v*s.v/4)
+	return s.take(int64(math.Ceil(k)))
+}

@@ -1,0 +1,583 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func mustNew(t *testing.T, name string, p Params) Scheduler {
+	t.Helper()
+	s, err := New(name, p)
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return s
+}
+
+func TestSTATChunkSizes(t *testing.T) {
+	s := mustNew(t, "STAT", Params{N: 100, P: 8})
+	chunks := drain(t, s, 8, 1)
+	// ⌈100/8⌉ = 13 → 7 chunks of 13 and one of 9.
+	if len(chunks) != 8 {
+		t.Fatalf("STAT issued %d chunks, want 8", len(chunks))
+	}
+	for i := 0; i < 7; i++ {
+		if chunks[i] != 13 {
+			t.Errorf("chunk %d = %d, want 13", i, chunks[i])
+		}
+	}
+	if chunks[7] != 9 {
+		t.Errorf("last chunk = %d, want 9", chunks[7])
+	}
+}
+
+func TestSTATFewerTasksThanPEs(t *testing.T) {
+	s := mustNew(t, "STAT", Params{N: 3, P: 8})
+	chunks := drain(t, s, 8, 1)
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %v", chunks)
+	}
+}
+
+func TestSSAlwaysOne(t *testing.T) {
+	s := mustNew(t, "SS", Params{N: 50, P: 4})
+	for _, c := range drain(t, s, 4, 1) {
+		if c != 1 {
+			t.Fatalf("SS chunk = %d", c)
+		}
+	}
+}
+
+func TestCSSDefaultIsNOverP(t *testing.T) {
+	s := mustNew(t, "CSS", Params{N: 100000, P: 72})
+	// Tzen & Ni: k = n/p = 1389 (⌈100000/72⌉ = 1389).
+	chunks := drain(t, s, 72, 1)
+	if chunks[0] != 1389 {
+		t.Fatalf("CSS default chunk = %d, want 1389", chunks[0])
+	}
+}
+
+func TestCSSExplicitChunk(t *testing.T) {
+	s := mustNew(t, "CSS", Params{N: 100, P: 4, Chunk: 7})
+	chunks := drain(t, s, 4, 1)
+	if chunks[0] != 7 || len(chunks) != 15 { // 14×7 + 2
+		t.Fatalf("CSS chunks = %v", chunks)
+	}
+	if chunks[14] != 2 {
+		t.Fatalf("final partial chunk = %d, want 2", chunks[14])
+	}
+}
+
+// TestFSCFormula pins the Kruskal–Weiss chunk against a hand-computed
+// value: n=8192, p=8, h=0.5, σ=1 →
+// K = (√2·8192·0.5 / (1·8·√ln8))^(2/3) = (5792.6/11.53)^(2/3) ≈ 63.2 → 64.
+func TestFSCFormula(t *testing.T) {
+	s, err := NewFSC(Params{N: 8192, P: 8, H: 0.5, Sigma: 1, Mu: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(math.Sqrt2*8192*0.5/(1*8*math.Sqrt(math.Log(8))), 2.0/3.0)
+	if got := s.ChunkSize(); got != int64(math.Ceil(want)) {
+		t.Fatalf("FSC chunk = %d, want %d (%.2f)", got, int64(math.Ceil(want)), want)
+	}
+}
+
+func TestFSCDegeneratesToStatic(t *testing.T) {
+	// σ = 0: no variance → static chunking.
+	s, err := NewFSC(Params{N: 100, P: 4, H: 0.5, Sigma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ChunkSize(); got != 25 {
+		t.Fatalf("FSC σ=0 chunk = %d, want 25", got)
+	}
+	// p = 1: single PE → whole loop.
+	s, err = NewFSC(Params{N: 100, P: 1, H: 0.5, Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ChunkSize(); got != 100 {
+		t.Fatalf("FSC p=1 chunk = %d, want 100", got)
+	}
+}
+
+func TestGSSSequence(t *testing.T) {
+	s := mustNew(t, "GSS", Params{N: 100, P: 4})
+	chunks := drain(t, s, 4, 1)
+	// ⌈100/4⌉=25, ⌈75/4⌉=19, ⌈56/4⌉=14, ⌈42/4⌉=11, ⌈31/4⌉=8, ⌈23/4⌉=6,
+	// ⌈17/4⌉=5, ⌈12/4⌉=3, ⌈9/4⌉=3, ⌈6/4⌉=2, ⌈4/4⌉=1,1,1,1.
+	want := []int64{25, 19, 14, 11, 8, 6, 5, 3, 3, 2, 1, 1, 1, 1}
+	if len(chunks) != len(want) {
+		t.Fatalf("GSS chunks = %v, want %v", chunks, want)
+	}
+	for i := range want {
+		if chunks[i] != want[i] {
+			t.Fatalf("GSS chunks = %v, want %v", chunks, want)
+		}
+	}
+}
+
+func TestGSSMinChunk(t *testing.T) {
+	s := mustNew(t, "GSS", Params{N: 100, P: 4, MinChunk: 10})
+	for i, c := range drain(t, s, 4, 1) {
+		// Every chunk is ≥10 except possibly the final remainder chunk.
+		if c < 10 && s.Remaining() != 0 {
+			t.Fatalf("GSS(10) chunk %d = %d", i, c)
+		}
+	}
+}
+
+func TestTSSDefaults(t *testing.T) {
+	s, err := NewTSS(Params{N: 1000, P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := drain(t, s, 4, 1)
+	// f = ⌈1000/8⌉ = 125, l = 1, N = ⌈2000/126⌉ = 16, δ = 124/15 ≈ 8.27.
+	if chunks[0] != 125 {
+		t.Fatalf("TSS first chunk = %d, want 125", chunks[0])
+	}
+	for i := 1; i < len(chunks); i++ {
+		if chunks[i] > chunks[i-1] {
+			t.Fatalf("TSS chunk grew at %d: %v", i, chunks)
+		}
+	}
+	// Linear decrement: second chunk = 125 − ⌊δ⌋ = 117.
+	if chunks[1] != 117 {
+		t.Fatalf("TSS second chunk = %d, want 117", chunks[1])
+	}
+}
+
+func TestTSSExplicitFirstLast(t *testing.T) {
+	s, err := NewTSS(Params{N: 100, P: 2, First: 20, Last: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := drain(t, s, 2, 1)
+	if chunks[0] != 20 {
+		t.Fatalf("first chunk = %d, want 20", chunks[0])
+	}
+	last := chunks[len(chunks)-1]
+	if last > 20 {
+		t.Fatalf("last chunk = %d", last)
+	}
+}
+
+func TestFACFirstBatchFactor(t *testing.T) {
+	// Hagerup parameters, n=1024, p=2: b0 = 2/(2·32) = 0.03125,
+	// x0 = 1 + b² + b√(b²+4) ≈ 1.0635, K0 = ⌈1024/(1.0635·2)⌉ = 482.
+	s := mustNew(t, "FAC", hagerupParams(1024, 2))
+	chunks := drain(t, s, 2, 1)
+	b := 2.0 / (2 * math.Sqrt(1024))
+	x0 := 1 + b*b + b*math.Sqrt(b*b+4)
+	want := int64(math.Ceil(1024 / (x0 * 2)))
+	if chunks[0] != want {
+		t.Fatalf("FAC first chunk = %d, want %d", chunks[0], want)
+	}
+	// Both chunks of the first batch must be equal.
+	if chunks[1] != chunks[0] {
+		t.Fatalf("FAC batch not uniform: %v", chunks[:2])
+	}
+}
+
+func TestFACBatchesOfP(t *testing.T) {
+	s := mustNew(t, "FAC", hagerupParams(10000, 5))
+	chunks := drain(t, s, 5, 1)
+	// Within each batch of 5 requests the chunk is constant (until the
+	// final truncated batch).
+	for i := 0; i+5 <= len(chunks)-5; i += 5 {
+		for j := 1; j < 5; j++ {
+			if chunks[i+j] != chunks[i] {
+				t.Fatalf("batch at %d not uniform: %v", i, chunks[i:i+5])
+			}
+		}
+	}
+}
+
+func TestFAC2Halving(t *testing.T) {
+	s := mustNew(t, "FAC2", Params{N: 1024, P: 2})
+	chunks := drain(t, s, 2, 1)
+	want := []int64{256, 256, 128, 128, 64, 64, 32, 32, 16, 16, 8, 8, 4, 4, 2, 2, 1, 1, 1, 1}
+	if len(chunks) != len(want) {
+		t.Fatalf("FAC2 chunks = %v", chunks)
+	}
+	for i := range want {
+		if chunks[i] != want[i] {
+			t.Fatalf("FAC2 chunks = %v, want %v", chunks, want)
+		}
+	}
+}
+
+func TestTAPBelowGuided(t *testing.T) {
+	// TAP's chunk must not exceed the guided fair share when σ > 0.
+	tap := mustNew(t, "TAP", hagerupParams(10000, 8))
+	gss := mustNew(t, "GSS", hagerupParams(10000, 8))
+	tc := tap.Next(0, 0)
+	gc := gss.Next(0, 0)
+	if tc > gc {
+		t.Fatalf("TAP chunk %d exceeds GSS chunk %d", tc, gc)
+	}
+	if tc < gc/2 {
+		t.Fatalf("TAP chunk %d implausibly small vs GSS %d", tc, gc)
+	}
+}
+
+func TestTAPZeroSigmaIsGuided(t *testing.T) {
+	tap := mustNew(t, "TAP", Params{N: 1000, P: 4, Mu: 1, Sigma: 0})
+	gss := mustNew(t, "GSS", Params{N: 1000, P: 4})
+	for i := 0; ; i++ {
+		tc, gc := tap.Next(i%4, 0), gss.Next(i%4, 0)
+		if tc != gc {
+			t.Fatalf("step %d: TAP %d != GSS %d", i, tc, gc)
+		}
+		if tc == 0 {
+			break
+		}
+	}
+}
+
+func TestBOLDBolderThanFAC(t *testing.T) {
+	bold := mustNew(t, "BOLD", hagerupParams(65536, 64))
+	fac := mustNew(t, "FAC", hagerupParams(65536, 64))
+	bFirst := bold.Next(0, 0)
+	fFirst := fac.Next(0, 0)
+	if bFirst < fFirst {
+		t.Fatalf("BOLD first chunk %d < FAC first chunk %d", bFirst, fFirst)
+	}
+}
+
+func TestBOLDEndGame(t *testing.T) {
+	s, err := NewBOLD(hagerupParams(100, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer tasks than PEs remain quickly; chunks must drop to 1.
+	for i := 0; ; i++ {
+		c := s.Next(i%64, 0)
+		if c == 0 {
+			break
+		}
+		if s.Remaining() < 64 && c != 1 && s.Remaining() > 0 {
+			// Once below p remaining, everything is single tasks.
+			next := s.Next(0, 0)
+			if next > 1 {
+				t.Fatalf("end-game chunk = %d", next)
+			}
+		}
+	}
+}
+
+func TestBOLDInFlightAccounting(t *testing.T) {
+	s, err := NewBOLD(hagerupParams(1024, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := s.Next(0, 0)
+	c2 := s.Next(1, 0)
+	if got := s.InFlight(); got != c1+c2 {
+		t.Fatalf("InFlight = %d, want %d", got, c1+c2)
+	}
+	s.Report(0, c1, float64(c1), float64(c1))
+	if got := s.InFlight(); got != c2 {
+		t.Fatalf("InFlight after report = %d, want %d", got, c2)
+	}
+}
+
+func TestWFProportionalToWeights(t *testing.T) {
+	p := Params{N: 10000, P: 2, Mu: 1, Sigma: 0, Weights: []float64{1, 3}}
+	s, err := NewWF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := s.Next(0, 0)
+	c1 := s.Next(1, 0)
+	ratio := float64(c1) / float64(c0)
+	if math.Abs(ratio-3) > 0.1 {
+		t.Fatalf("WF chunks %d:%d, want ratio 3", c0, c1)
+	}
+}
+
+func TestWFEqualWeightsMatchesFAC(t *testing.T) {
+	wf := mustNew(t, "WF", hagerupParams(4096, 4))
+	fac := mustNew(t, "FAC", hagerupParams(4096, 4))
+	for i := 0; ; i++ {
+		wc, fc := wf.Next(i%4, 0), fac.Next(i%4, 0)
+		if wc != fc {
+			t.Fatalf("step %d: WF %d != FAC %d", i, wc, fc)
+		}
+		if wc == 0 {
+			break
+		}
+	}
+}
+
+// TestAWFCAdaptsToSlowPE drives AWF-C with one PE reporting 4× slower
+// execution and checks the measured weights shift work away from it.
+func TestAWFCAdaptsToSlowPE(t *testing.T) {
+	s, err := NewAWFC(Params{N: 100000, P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	for i := 0; ; i++ {
+		w := i % 2
+		c := s.Next(w, now)
+		if c == 0 {
+			break
+		}
+		speed := 1.0
+		if w == 1 {
+			speed = 0.25 // PE 1 is 4× slower
+		}
+		elapsed := float64(c) / speed
+		now += elapsed
+		s.Report(w, c, elapsed, now)
+	}
+	ws := s.UpdatedWeights()
+	if ws[0] < 1.4 || ws[1] > 0.6 {
+		t.Fatalf("AWF-C weights = %v, want ≈ [1.6, 0.4]", ws)
+	}
+}
+
+// TestAWFFixedWithinStep: plain AWF must not change behaviour mid-loop
+// even when reports arrive; it matches WF... with the FAC2 batch rule.
+func TestAWFFixedWithinStep(t *testing.T) {
+	awf, err := NewAWF(Params{N: 4096, P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac2 := mustNew(t, "FAC2", Params{N: 4096, P: 4})
+	now := 0.0
+	for i := 0; ; i++ {
+		w := i % 4
+		ac, fc := awf.Next(w, now), fac2.Next(w, now)
+		if ac != fc {
+			t.Fatalf("step %d: AWF %d != FAC2 %d", i, ac, fc)
+		}
+		if ac == 0 {
+			break
+		}
+		// Report wildly skewed timings; AWF must ignore them this step.
+		elapsed := float64(ac) * float64(w+1)
+		now += elapsed
+		awf.Report(w, ac, elapsed, now)
+	}
+}
+
+// TestAWFUpdatedWeightsRoundTrip simulates two time steps: weights
+// measured in step one, applied in step two.
+func TestAWFUpdatedWeightsRoundTrip(t *testing.T) {
+	step1, err := NewAWF(Params{N: 10000, P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	for i := 0; ; i++ {
+		w := i % 2
+		c := step1.Next(w, now)
+		if c == 0 {
+			break
+		}
+		speed := 1.0
+		if w == 1 {
+			speed = 0.5
+		}
+		now += float64(c) / speed
+		step1.Report(w, c, float64(c)/speed, now)
+	}
+	ws := step1.UpdatedWeights()
+	if ws[0] <= ws[1] {
+		t.Fatalf("weights = %v, PE0 should outweigh PE1", ws)
+	}
+	step2, err := NewAWF(Params{N: 10000, P: 2, Weights: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := step2.Next(0, 0)
+	c1 := step2.Next(1, 0)
+	if c0 <= c1 {
+		t.Fatalf("step2 chunks %d,%d: faster PE should get more", c0, c1)
+	}
+}
+
+// TestAFConvergesToRateShares drives AF on a 2-PE system with PE1 twice
+// as slow and deterministic times, dispatching to whichever PE is free
+// first (the real master–worker dynamics). AF should give the fast PE
+// clearly larger chunks, hand it the larger share of tasks, and its µ
+// estimates should converge to the true per-task times.
+func TestAFConvergesToRateShares(t *testing.T) {
+	s, err := NewAF(Params{N: 200000, P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := [2]float64{0, 0}
+	perTask := [2]float64{0.001, 0.002}
+	var tasks [2]int64
+	for {
+		w := 0
+		if free[1] < free[0] {
+			w = 1
+		}
+		c := s.Next(w, free[w])
+		if c == 0 {
+			break
+		}
+		elapsed := float64(c) * perTask[w]
+		free[w] += elapsed
+		s.Report(w, c, elapsed, free[w])
+		tasks[w] += c
+	}
+	share := float64(tasks[0]) / float64(tasks[0]+tasks[1])
+	if share < 0.55 || share > 0.78 {
+		t.Fatalf("fast PE processed share %.2f of tasks, want ≈2/3", share)
+	}
+	// Both PEs should finish near-simultaneously (balanced finishing is
+	// AF's goal): within 10%% of the makespan.
+	makespan := math.Max(free[0], free[1])
+	if diff := math.Abs(free[0] - free[1]); diff > 0.1*makespan {
+		t.Fatalf("finish skew %.3f of makespan %.3f", diff, makespan)
+	}
+	mu, _ := s.Estimates()
+	if math.Abs(mu[0]-0.001) > 2e-4 || math.Abs(mu[1]-0.002) > 4e-4 {
+		t.Fatalf("AF µ estimates = %v, want ≈[0.001 0.002]", mu)
+	}
+}
+
+// TestAFZeroVarianceChunkIsFairShare: with deterministic equal PEs, the
+// converged AF chunk approaches r/(p) scaled by the formula with D = 0:
+// K = T/µ = r/(E·µ) = r/p.
+func TestAFZeroVarianceChunkIsFairShare(t *testing.T) {
+	s, err := NewAF(Params{N: 100000, P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	// Warm up with 2 chunks per PE.
+	for i := 0; i < 8; i++ {
+		w := i % 4
+		c := s.Next(w, now)
+		elapsed := float64(c) * 0.01
+		now += elapsed
+		s.Report(w, c, elapsed, now)
+	}
+	r := s.Remaining()
+	c := s.Next(0, now)
+	want := float64(r) / 4
+	if math.Abs(float64(c)-want) > want*0.05+2 {
+		t.Fatalf("AF σ=0 chunk = %d, want ≈%.0f (r=%d)", c, want, r)
+	}
+}
+
+// TestBOLDFloorBinds: in the late stage (small remaining), BOLD's chunks
+// must respect the overhead floor K_min(r) = floorC·r^(2/3) while more
+// than p tasks remain — that is where h enters the technique.
+func TestBOLDFloorBinds(t *testing.T) {
+	p := hagerupParams(524288, 1024)
+	s, err := NewBOLD(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floorC := math.Pow(
+		math.Sqrt2*p.H/(p.Sigma*float64(p.P)*math.Sqrt(math.Log(float64(p.P)))),
+		2.0/3.0)
+	for i := 0; ; i++ {
+		r := s.Remaining()
+		c := s.Next(i%p.P, 0)
+		if c == 0 {
+			break
+		}
+		if r > int64(p.P) {
+			floor := int64(floorC * math.Pow(float64(r), 2.0/3.0))
+			if c < floor {
+				t.Fatalf("chunk %d below floor %d at remaining %d", c, floor, r)
+			}
+		}
+	}
+}
+
+// TestFACTruncatedFinalBatch: when fewer tasks remain than a full batch
+// would hand out, FAC must truncate cleanly and still sum to n.
+func TestFACTruncatedFinalBatch(t *testing.T) {
+	// n = 10 on p = 4: first batch chunk = ceil(10/(x0·4)) with tiny b,
+	// so the last chunks truncate.
+	s := mustNew(t, "FAC", Params{N: 10, P: 4, Mu: 1, Sigma: 1})
+	chunks := drain(t, s, 4, 1)
+	if got := sum(chunks); got != 10 {
+		t.Fatalf("chunks %v sum to %d", chunks, got)
+	}
+	for _, c := range chunks {
+		if c < 1 {
+			t.Fatalf("chunk %d < 1 in %v", c, chunks)
+		}
+	}
+}
+
+// TestAWFBWeightsChangeAtBatchBoundary: within the first batch all chunks
+// are equal (equal initial weights); after skewed timing reports, the
+// second batch's chunks differ across PEs.
+func TestAWFBWeightsChangeAtBatchBoundary(t *testing.T) {
+	const p = 4
+	s, err := NewAWFB(Params{N: 100000, P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []int64
+	now := 0.0
+	for w := 0; w < p; w++ {
+		c := s.Next(w, now)
+		first = append(first, c)
+		// PE 0 is fast (rate 4), the others slow (rate 1).
+		rate := 1.0
+		if w == 0 {
+			rate = 4
+		}
+		elapsed := float64(c) / rate
+		now += elapsed
+		s.Report(w, c, elapsed, now)
+	}
+	for _, c := range first[1:] {
+		if c != first[0] {
+			t.Fatalf("first batch not uniform: %v", first)
+		}
+	}
+	var second []int64
+	for w := 0; w < p; w++ {
+		second = append(second, s.Next(w, now))
+	}
+	if second[0] <= second[1] {
+		t.Fatalf("second batch ignores measured rates: %v", second)
+	}
+}
+
+// TestTAPAlphaMonotonicity: a larger confidence factor α means a larger
+// safety margin, hence smaller (more conservative) chunks.
+func TestTAPAlphaMonotonicity(t *testing.T) {
+	base := hagerupParams(10000, 8)
+	small, err := NewTAP(Params{N: base.N, P: base.P, Mu: 1, Sigma: 1, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := NewTAP(Params{N: base.N, P: base.P, Mu: 1, Sigma: 1, Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs, cl := small.Next(0, 0), large.Next(0, 0); cl >= cs {
+		t.Fatalf("alpha=3 chunk %d >= alpha=0.5 chunk %d", cl, cs)
+	}
+}
+
+// TestFSCMoreOverheadMeansBiggerChunks: raising h must not shrink the
+// FSC chunk (overhead amortization).
+func TestFSCMoreOverheadMeansBiggerChunks(t *testing.T) {
+	lo, err := NewFSC(Params{N: 100000, P: 16, H: 0.01, Sigma: 1, Mu: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := NewFSC(Params{N: 100000, P: 16, H: 1, Sigma: 1, Mu: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.ChunkSize() <= lo.ChunkSize() {
+		t.Fatalf("h=1 chunk %d <= h=0.01 chunk %d", hi.ChunkSize(), lo.ChunkSize())
+	}
+}

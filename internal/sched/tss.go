@@ -1,0 +1,57 @@
+package sched
+
+import "fmt"
+
+// TSS is trapezoid self scheduling (Tzen & Ni, 1993). Chunk sizes
+// decrease linearly from a first size f to a last size l:
+//
+//	N = ⌈2n/(f+l)⌉   (number of chunks)
+//	δ = (f−l)/(N−1)  (decrement per scheduling step)
+//	K_i = f − ⌊i·δ⌋
+//
+// The linear decay is a compromise between GSS's aggressive geometric
+// decay (whose first chunks can be too large under variance) and the
+// overhead of many small chunks. The defaults are the publication's
+// conservative choice f = ⌈n/(2p)⌉, l = 1.
+type TSS struct {
+	base
+	first, last int64
+	delta       float64
+	step        int64
+}
+
+// NewTSS returns a trapezoid-self-scheduling scheduler. Params.First and
+// Params.Last select f and l; zero values select ⌈n/(2p)⌉ and 1.
+func NewTSS(p Params) (*TSS, error) {
+	b, err := newBase("TSS", p)
+	if err != nil {
+		return nil, err
+	}
+	f := p.First
+	if f <= 0 {
+		f = ceilDiv(p.N, 2*int64(p.P))
+	}
+	l := p.Last
+	if l <= 0 {
+		l = 1
+	}
+	if l > f {
+		return nil, fmt.Errorf("sched: TSS requires last <= first, got f=%d l=%d", f, l)
+	}
+	steps := ceilDiv(2*p.N, f+l)
+	var delta float64
+	if steps > 1 {
+		delta = float64(f-l) / float64(steps-1)
+	}
+	return &TSS{base: b, first: f, last: l, delta: delta}, nil
+}
+
+// Next assigns the next trapezoid chunk f − ⌊i·δ⌋, clamped at l.
+func (s *TSS) Next(_ int, _ float64) int64 {
+	want := s.first - int64(float64(s.step)*s.delta)
+	if want < s.last {
+		want = s.last
+	}
+	s.step++
+	return s.take(want)
+}

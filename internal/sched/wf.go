@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// WF is weighted factoring (Hummel, Schmidt, Uma & Wein, SPAA 1996),
+// developed for load-balanced execution on heterogeneous systems (paper
+// §II). Batches are formed exactly as in factoring, but within a batch
+// PE i receives a chunk proportional to its fixed relative weight w_i
+// (Σw_i = p):
+//
+//	K_{j,i} = ⌈ w_i · r_j / (x_j · p) ⌉
+//
+// Weights are supplied at construction (e.g. relative processor speeds)
+// and never change during execution — that is what AWF relaxes.
+type WF struct {
+	base
+	mu, sigma float64
+	weights   []float64
+
+	batchBase  float64 // unweighted chunk K_j of the current batch
+	batchLeft  int
+	batchIndex int64
+}
+
+// NewWF returns a weighted-factoring scheduler. Params.Weights supplies
+// the PE weights (nil means equal weights, making WF identical to FAC);
+// µ > 0 is required, σ = 0 degenerates the batch rule to FAC2's.
+func NewWF(p Params) (*WF, error) {
+	b, err := newBase("WF", p)
+	if err != nil {
+		return nil, err
+	}
+	if p.Mu <= 0 {
+		return nil, fmt.Errorf("sched: WF requires mu > 0, got %v", p.Mu)
+	}
+	if p.Sigma < 0 {
+		return nil, fmt.Errorf("sched: WF requires sigma >= 0, got %v", p.Sigma)
+	}
+	w, err := normWeights(p.Weights, p.P)
+	if err != nil {
+		return nil, err
+	}
+	return &WF{base: b, mu: p.Mu, sigma: p.Sigma, weights: w}, nil
+}
+
+// Next hands worker w its weighted share of the current batch.
+func (s *WF) Next(w int, _ float64) int64 {
+	if s.remaining <= 0 {
+		return 0
+	}
+	if w < 0 || w >= s.p {
+		panic(fmt.Sprintf("sched: WF worker index %d out of range [0,%d)", w, s.p))
+	}
+	if s.batchLeft == 0 {
+		s.batchBase = float64(facBatchChunk(s.remaining, s.p, s.mu, s.sigma, s.batchIndex == 0))
+		s.batchLeft = s.p
+		s.batchIndex++
+	}
+	s.batchLeft--
+	return s.take(int64(math.Ceil(s.weights[w] * s.batchBase)))
+}
+
+// Weights returns the normalized weights in use (Σ = p).
+func (s *WF) Weights() []float64 {
+	out := make([]float64, len(s.weights))
+	copy(out, s.weights)
+	return out
+}

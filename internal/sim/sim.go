@@ -1,0 +1,217 @@
+// Package sim implements the chunk-granularity master–worker simulator
+// that replicates the simulator of the BOLD publication's authors, as the
+// paper itself did (§III-B):
+//
+//	"Therefore, the implemented simulator of the authors of [14] was
+//	 replicated. Their simulator did not measure the network traffic
+//	 needed for every scheduling operation. It was assumed that every
+//	 scheduling operation takes a fixed amount of time (parameter h)."
+//
+// The simulator advances a virtual clock over scheduling events only:
+// a worker becomes available, the master hands it a chunk, the worker is
+// busy for the chunk's execution time, repeat. Communication is free by
+// default (the paper models this in SimGrid by setting bandwidth very
+// high and latency very low) and the scheduling overhead h is accounted
+// per operation in the wasted-time metric (package metrics). Two
+// ablation switches depart from the paper's setup on request:
+//
+//   - HInDynamics charges h inside the master loop, serializing
+//     concurrent requests the way a real master would (DESIGN.md A1).
+//   - PerMessageCost adds a fixed network round-trip per scheduling
+//     operation (DESIGN.md A3), which is how the TSS-publication
+//     experiments are driven without the full MSG stack.
+//
+// The heavyweight alternative — the process-oriented SimGrid-MSG model
+// with explicit messages — lives in internal/msg and is cross-validated
+// against this package by integration tests.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Config describes one simulated loop execution.
+type Config struct {
+	P     int               // number of worker PEs
+	Sched sched.Scheduler   // chunk calculator (owned by the master)
+	Work  workload.Workload // per-task execution times
+	RNG   *rng.Rand48       // randomness source; may be nil for deterministic workloads
+
+	Speeds     []float64 // relative PE speeds; nil means all 1.0
+	StartTimes []float64 // per-PE start times (uneven starts); nil means all 0
+
+	// H is the scheduling overhead per operation. It is consumed by the
+	// dynamics only when HInDynamics is set; in the paper's faithful mode
+	// the caller adds h per operation post hoc via metrics.AverageWasted.
+	H float64
+	// HInDynamics charges h inside the master's service loop, serializing
+	// concurrent requests. Every request is serviced, including the final
+	// "no work left" request each worker makes, so the master is busy for
+	// (ops + p)·h in total.
+	HInDynamics bool
+
+	PerMessageCost float64 // fixed request+reply network cost per scheduling operation
+
+	// Perturb, when non-nil, returns a speed multiplier for worker w
+	// starting a chunk at time now. It models systemic variability
+	// (earlier-work context; see internal/perturb).
+	Perturb func(w int, now float64) float64
+
+	// Observe, when non-nil, is called once per scheduling operation with
+	// the worker, the assigned task range [start, start+count), the
+	// assignment time and the completion time. internal/trace.Recorder
+	// has exactly this shape.
+	Observe func(worker int, start, count int64, assigned, done float64)
+}
+
+// Result reports one simulated execution.
+type Result struct {
+	Makespan float64   // completion time of the last task
+	Compute  []float64 // per-worker total computation time
+	Finish   []float64 // per-worker completion time of its last chunk
+
+	SchedOps       int64   // total scheduling operations (chunks)
+	OpsPerWorker   []int64 // scheduling operations per worker
+	TasksPerWorker []int64 // tasks executed per worker
+
+	CommTime   float64 // total time spent in per-message network costs
+	MasterBusy float64 // total master service time (HInDynamics mode)
+}
+
+// workerEvent is a pending "worker w requests work at time t" event.
+type workerEvent struct {
+	t float64
+	w int
+}
+
+// eventQueue is a binary min-heap of worker events ordered by
+// (time, worker id) — the worker id tie-break keeps runs deterministic
+// when several workers request simultaneously (e.g. at start).
+type eventQueue []workerEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].w < q[j].w
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(workerEvent)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// Run executes the master–worker loop to completion and returns the
+// timing results.
+func Run(cfg Config) (*Result, error) {
+	if cfg.P <= 0 {
+		return nil, fmt.Errorf("sim: P must be positive, got %d", cfg.P)
+	}
+	if cfg.Sched == nil {
+		return nil, fmt.Errorf("sim: Config.Sched is nil")
+	}
+	if cfg.Work == nil {
+		return nil, fmt.Errorf("sim: Config.Work is nil")
+	}
+	if cfg.Speeds != nil && len(cfg.Speeds) != cfg.P {
+		return nil, fmt.Errorf("sim: got %d speeds for %d workers", len(cfg.Speeds), cfg.P)
+	}
+	if cfg.StartTimes != nil && len(cfg.StartTimes) != cfg.P {
+		return nil, fmt.Errorf("sim: got %d start times for %d workers", len(cfg.StartTimes), cfg.P)
+	}
+	if !cfg.Work.Deterministic() && cfg.RNG == nil {
+		return nil, fmt.Errorf("sim: random workload %q requires Config.RNG", cfg.Work.Name())
+	}
+
+	res := &Result{
+		Compute:        make([]float64, cfg.P),
+		Finish:         make([]float64, cfg.P),
+		OpsPerWorker:   make([]int64, cfg.P),
+		TasksPerWorker: make([]int64, cfg.P),
+	}
+
+	q := make(eventQueue, 0, cfg.P)
+	for w := 0; w < cfg.P; w++ {
+		start := 0.0
+		if cfg.StartTimes != nil {
+			start = cfg.StartTimes[w]
+		}
+		q = append(q, workerEvent{t: start, w: w})
+	}
+	heap.Init(&q)
+
+	speed := func(w int) float64 {
+		if cfg.Speeds == nil {
+			return 1
+		}
+		return cfg.Speeds[w]
+	}
+
+	var nextTask int64 // global index of the next unassigned task
+	var masterFree float64
+
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(workerEvent)
+		t := ev.t
+
+		serviceEnd := t
+		if cfg.HInDynamics {
+			start := t
+			if masterFree > start {
+				start = masterFree
+			}
+			serviceEnd = start + cfg.H
+			masterFree = serviceEnd
+			res.MasterBusy += cfg.H
+		}
+
+		chunk := cfg.Sched.Next(ev.w, t)
+		if chunk == 0 {
+			// Finalization: the worker leaves the computation.
+			if t > res.Finish[ev.w] {
+				res.Finish[ev.w] = t
+			}
+			continue
+		}
+
+		chunkStart := nextTask
+		exec := cfg.Work.ChunkTime(nextTask, chunk, cfg.RNG)
+		nextTask += chunk
+		s := speed(ev.w)
+		if cfg.Perturb != nil {
+			s *= cfg.Perturb(ev.w, serviceEnd)
+		}
+		if s <= 0 {
+			return nil, fmt.Errorf("sim: non-positive speed %v for worker %d", s, ev.w)
+		}
+		exec /= s
+
+		done := serviceEnd + cfg.PerMessageCost + exec
+		res.CommTime += cfg.PerMessageCost
+		res.Compute[ev.w] += exec
+		res.Finish[ev.w] = done
+		res.OpsPerWorker[ev.w]++
+		res.TasksPerWorker[ev.w] += chunk
+		res.SchedOps++
+		cfg.Sched.Report(ev.w, chunk, exec, done)
+		if cfg.Observe != nil {
+			cfg.Observe(ev.w, chunkStart, chunk, serviceEnd, done)
+		}
+		if done > res.Makespan {
+			res.Makespan = done
+		}
+		heap.Push(&q, workerEvent{t: done, w: ev.w})
+	}
+
+	return res, nil
+}

@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the trace CSV parser never panics and that valid
+// traces round-trip through Write.
+func FuzzRead(f *testing.F) {
+	f.Add("worker,start,count,assigned_s,done_s\n0,0,5,0,5\n1,5,3,0,4\n")
+	f.Add("worker,start,count,assigned_s,done_s\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, doc string) {
+		tr, err := Read(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("write of parsed trace failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again.Events) != len(tr.Events) {
+			t.Fatalf("event count changed: %d -> %d", len(tr.Events), len(again.Events))
+		}
+	})
+}
