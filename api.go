@@ -3,15 +3,16 @@ package repro
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 // Config collects the simulation options the facade accepts. Zero values
-// select the Hagerup defaults (exponential µ = 1 s, h = 0.5 s, seed 1).
+// select the Hagerup defaults (exponential µ = 1 s, h = 0.5 s, seed 1,
+// the fast "sim" backend).
 type Config struct {
 	work       workload.Workload
 	h          float64
@@ -27,6 +28,8 @@ type Config struct {
 	weights    []float64
 	hDynamics  bool
 	msgCost    float64
+	backend    string
+	workers    int
 }
 
 // Option customizes a simulation.
@@ -83,6 +86,22 @@ func WithSeed(seed uint64) Option {
 	return func(c *Config) { c.seed = seed }
 }
 
+// WithBackend selects the simulation backend executing the runs by
+// registry name: "sim" (the fast chunk-granularity simulator, default),
+// "des" (the process-oriented variant on the discrete-event kernel) or
+// "msg" (the full SimGrid-MSG model with explicit messages). Backends()
+// lists the registered names.
+func WithBackend(name string) Option {
+	return func(c *Config) { c.backend = name }
+}
+
+// WithRunWorkers bounds the number of concurrently executing replications
+// in MeanWastedTime and Compare. The default (0) uses all CPU cores;
+// results are identical for any worker count.
+func WithRunWorkers(workers int) Option {
+	return func(c *Config) { c.workers = workers }
+}
+
 // WithSpeeds sets relative PE speeds (heterogeneous systems).
 func WithSpeeds(speeds []float64) Option {
 	return func(c *Config) { c.speeds = speeds }
@@ -135,7 +154,16 @@ type Result struct {
 // this package's functions.
 func Techniques() []string { return sched.Names() }
 
-func buildConfig(n int64, opts []Option) Config {
+// Backends returns the names accepted by WithBackend.
+func Backends() []string { return engine.Names() }
+
+func buildConfig(n int64, p int, opts []Option) (Config, error) {
+	if n <= 0 {
+		return Config{}, fmt.Errorf("repro: task count n must be positive, got %d", n)
+	}
+	if p <= 0 {
+		return Config{}, fmt.Errorf("repro: PE count p must be positive, got %d", p)
+	}
 	c := Config{seed: 1}
 	for _, o := range opts {
 		o(&c)
@@ -146,39 +174,35 @@ func buildConfig(n int64, opts []Option) Config {
 	if !c.hSet {
 		c.h = 0.5
 	}
-	_ = n
-	return c
+	return c, nil
 }
 
-// Simulate executes one master–worker loop execution of n tasks on p PEs
-// under the named DLS technique and returns its timing results.
-func Simulate(technique string, n int64, p int, opts ...Option) (*Result, error) {
-	c := buildConfig(n, opts)
-	s, err := sched.New(technique, sched.Params{
-		N: n, P: p,
-		H: c.h, Mu: c.work.Mean(), Sigma: c.work.Std(),
-		MinChunk: c.minChunk, Chunk: c.chunk,
-		First: c.first, Last: c.last,
-		Alpha: c.alpha, Weights: c.weights,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.Run(sim.Config{
+// spec maps the facade configuration onto the engine's backend-neutral
+// run description. The RNG state is the mixed seed, as the facade has
+// always derived it.
+func (c Config) spec(technique string, n int64, p int) engine.RunSpec {
+	return engine.RunSpec{
+		Technique:      technique,
+		N:              n,
 		P:              p,
-		Sched:          s,
 		Work:           c.work,
-		RNG:            rng.FromState(rng.Mix64(c.seed)),
+		RNGState:       rng.Mix64(c.seed),
 		Speeds:         c.speeds,
 		StartTimes:     c.startTimes,
 		H:              c.h,
 		HInDynamics:    c.hDynamics,
 		PerMessageCost: c.msgCost,
-	})
-	if err != nil {
-		return nil, err
+		MinChunk:       c.minChunk,
+		Chunk:          c.chunk,
+		First:          c.first,
+		Last:           c.last,
+		Alpha:          c.alpha,
+		Weights:        c.weights,
 	}
-	seq := workload.Total(c.work, n)
+}
+
+// result converts an engine result into the facade's Result.
+func (c Config) result(n int64, res *engine.RunResult) *Result {
 	out := &Result{
 		Makespan:   res.Makespan,
 		AvgWasted:  metrics.AverageWasted(res.Makespan, res.Compute, res.SchedOps, c.h),
@@ -188,9 +212,27 @@ func Simulate(technique string, n int64, p int, opts ...Option) (*Result, error)
 		TasksPerPE: res.TasksPerWorker,
 	}
 	if res.Makespan > 0 {
-		out.Speedup = seq / res.Makespan
+		out.Speedup = workload.Total(c.work, n) / res.Makespan
 	}
-	return out, nil
+	return out
+}
+
+// Simulate executes one master–worker loop execution of n tasks on p PEs
+// under the named DLS technique and returns its timing results.
+func Simulate(technique string, n int64, p int, opts ...Option) (*Result, error) {
+	c, err := buildConfig(n, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	be, err := engine.New(c.backend)
+	if err != nil {
+		return nil, err
+	}
+	res, err := be.Run(c.spec(technique, n, p))
+	if err != nil {
+		return nil, err
+	}
+	return c.result(n, res), nil
 }
 
 // WastedTime returns the average wasted time of a single simulated run —
@@ -205,35 +247,61 @@ func WastedTime(technique string, n int64, p int, opts ...Option) (float64, erro
 
 // MeanWastedTime averages the wasted time over the given number of
 // independent runs (the paper uses 1000), deriving one rand48 stream per
-// run from the configured seed.
+// run from the configured seed. Replications execute concurrently on the
+// configured backend; the result is identical to running them serially.
 func MeanWastedTime(technique string, n int64, p int, runs int, opts ...Option) (float64, error) {
 	if runs <= 0 {
 		return 0, fmt.Errorf("repro: runs must be positive, got %d", runs)
 	}
-	c := buildConfig(n, opts)
-	var sum float64
-	for r := 0; r < runs; r++ {
-		perRun := append([]Option(nil), opts...)
-		perRun = append(perRun, WithSeed(rng.RunSeed(c.seed, r)))
-		v, err := WastedTime(technique, n, p, perRun...)
-		if err != nil {
-			return 0, err
-		}
-		sum += v
+	c, err := buildConfig(n, p, opts)
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(runs), nil
+	res, err := engine.Campaign{
+		Backend:      c.backend,
+		Points:       []engine.RunSpec{c.spec(technique, n, p)},
+		Replications: runs,
+		Workers:      c.workers,
+		// Each run seeds its stream exactly as a serial
+		// Simulate(WithSeed(rng.RunSeed(base, r))) loop would.
+		SeedFor: func(_, r int) uint64 { return rng.Mix64(rng.RunSeed(c.seed, r)) },
+	}.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Aggregates[0].Wasted.Mean, nil
 }
 
 // Compare runs every named technique once under identical options and
-// returns technique → average wasted time.
+// returns technique → average wasted time. Techniques execute
+// concurrently; WithBackend targets any registered backend.
 func Compare(techniques []string, n int64, p int, opts ...Option) (map[string]float64, error) {
+	if len(techniques) == 0 {
+		return nil, fmt.Errorf("repro: Compare needs at least one technique")
+	}
+	c, err := buildConfig(n, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]engine.RunSpec, len(techniques))
+	for i, t := range techniques {
+		points[i] = c.spec(t, n, p)
+	}
+	res, err := engine.Campaign{
+		Backend:      c.backend,
+		Points:       points,
+		Replications: 1,
+		Workers:      c.workers,
+		// One run per technique under the facade's single-run seed, as
+		// the serial WastedTime loop derived it.
+		SeedFor: func(_, _ int) uint64 { return rng.Mix64(c.seed) },
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]float64, len(techniques))
-	for _, t := range techniques {
-		v, err := WastedTime(t, n, p, opts...)
-		if err != nil {
-			return nil, err
-		}
-		out[t] = v
+	for i, t := range techniques {
+		out[t] = res.Aggregates[i].Wasted.Mean
 	}
 	return out, nil
 }

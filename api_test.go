@@ -3,6 +3,8 @@ package repro
 import (
 	"math"
 	"testing"
+
+	"repro/internal/rng"
 )
 
 func TestSimulateDefaults(t *testing.T) {
@@ -86,6 +88,90 @@ func TestMeanWastedTime(t *testing.T) {
 	v2, _ := MeanWastedTime("FAC2", 1024, 8, 20, WithSeed(3))
 	if v != v2 {
 		t.Fatal("MeanWastedTime not deterministic")
+	}
+}
+
+// TestMeanWastedTimeMatchesSerialLoop pins the parallel campaign to the
+// facade's historical serial loop: one Simulate per run seeded with
+// rng.RunSeed(base, r), summed in run order. The results must be
+// identical bit for bit.
+func TestMeanWastedTimeMatchesSerialLoop(t *testing.T) {
+	const runs = 25
+	const base = uint64(3)
+	var sum float64
+	for r := 0; r < runs; r++ {
+		v, err := WastedTime("FAC2", 1024, 8, WithSeed(rng.RunSeed(base, r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	want := sum / runs
+	got, err := MeanWastedTime("FAC2", 1024, 8, runs, WithSeed(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("parallel mean %v != serial mean %v", got, want)
+	}
+	// And independent of the worker bound.
+	serial, err := MeanWastedTime("FAC2", 1024, 8, runs, WithSeed(base), WithRunWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != want {
+		t.Fatalf("WithRunWorkers(1) mean %v != serial mean %v", serial, want)
+	}
+}
+
+func TestWithBackend(t *testing.T) {
+	ref, err := Simulate("FAC2", 1024, 8, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{"des", "msg"} {
+		res, err := Simulate("FAC2", 1024, 8, WithSeed(11), WithBackend(backend))
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if rel := math.Abs(res.Makespan-ref.Makespan) / ref.Makespan; rel > 1e-6 {
+			t.Errorf("%s makespan %v vs sim %v", backend, res.Makespan, ref.Makespan)
+		}
+	}
+	if _, err := Simulate("FAC2", 64, 2, WithBackend("simgrid")); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	// Compare targets a named backend for all techniques at once.
+	cmp, err := Compare([]string{"STAT", "FAC2"}, 512, 4, WithSeed(2), WithBackend("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp) != 2 || cmp["STAT"] <= 0 || cmp["FAC2"] <= 0 {
+		t.Fatalf("Compare on msg backend = %v", cmp)
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := Simulate("FAC2", 0, 8); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Simulate("FAC2", -5, 8); err == nil {
+		t.Error("n<0 accepted")
+	}
+	if _, err := Simulate("FAC2", 1024, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := WastedTime("FAC2", 1024, -1); err == nil {
+		t.Error("p<0 accepted")
+	}
+	if _, err := MeanWastedTime("FAC2", 0, 8, 10); err == nil {
+		t.Error("MeanWastedTime n=0 accepted")
+	}
+	if _, err := Compare([]string{"FAC2"}, 1024, 0); err == nil {
+		t.Error("Compare p=0 accepted")
+	}
+	if _, err := Compare(nil, 1024, 8); err == nil {
+		t.Error("Compare with no techniques accepted")
 	}
 }
 

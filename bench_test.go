@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/msg"
@@ -162,6 +163,53 @@ func BenchmarkFigure9_FACPerRun(b *testing.B) {
 		printSeries("fig9", text)
 		b.ReportMetric(c.Wasted.Mean, "mean_wasted_s")
 		b.ReportMetric(metrics.Mean(kept), "trimmed_mean_s")
+	}
+}
+
+// --- Engine: the parallel campaign runner --------------------------------
+
+// BenchmarkCampaignParallel measures the paper's canonical unit of work —
+// one 1000-replication grid cell (Table III) — through the engine's
+// campaign runner, serial (Workers=1, the shape of the old hand-rolled
+// loops) versus fanned out over all cores. The parallel/serial ratio is
+// the wall-clock speedup of every Figure 5–8 cell; both variants produce
+// bit-identical aggregates.
+func BenchmarkCampaignParallel(b *testing.B) {
+	campaign := func(workers int) engine.Campaign {
+		return engine.Campaign{
+			Points: []engine.RunSpec{{
+				Technique: "FAC2",
+				N:         1024,
+				P:         8,
+				Work:      workload.NewExponential(1),
+				H:         0.5,
+				RNGState:  benchSeed,
+			}},
+			Replications: 1000,
+			Workers:      workers,
+		}
+	}
+	var serialMean, parallelMean float64
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := campaign(1).Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			serialMean = res.Aggregates[0].Wasted.Mean
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := campaign(0).Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			parallelMean = res.Aggregates[0].Wasted.Mean
+		}
+	})
+	if serialMean != 0 && parallelMean != 0 && serialMean != parallelMean {
+		b.Fatalf("serial mean %v != parallel mean %v", serialMean, parallelMean)
 	}
 }
 

@@ -9,6 +9,7 @@
 //	dlsim -tech TSS -n 100000 -p 72 -dist constant -p1 110e-6
 //	dlsim -tech GSS -n 10000 -p 16 -min-chunk 5 -per-run 10
 //	dlsim -tech WF -n 4096 -p 4 -weights 1,1,2,4
+//	dlsim -tech FAC2 -n 8192 -p 64 -backend msg         # full MSG model
 package main
 
 import (
@@ -20,10 +21,9 @@ import (
 	"strings"
 
 	"repro/internal/ascii"
-	"repro/internal/metrics"
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -34,6 +34,8 @@ func main() {
 
 	var (
 		tech     = flag.String("tech", "FAC2", "DLS technique: "+strings.Join(sched.Names(), ", "))
+		backend  = flag.String("backend", engine.DefaultBackend, "simulation backend: "+strings.Join(engine.Names(), ", "))
+		workers  = flag.Int("workers", 0, "concurrent runs (0 = all CPU cores); results are worker-count independent")
 		n        = flag.Int64("n", 1024, "number of tasks")
 		p        = flag.Int("p", 8, "number of PEs")
 		dist     = flag.String("dist", "exponential", "workload: constant, uniform, increasing, decreasing, exponential, normal, gamma, bimodal")
@@ -100,51 +102,57 @@ func main() {
 		}
 	}
 
-	var wasted, makespans, opsTotal float64
-	var lastRes *sim.Result
-	recorder := trace.NewRecorder()
-	for r := 0; r < *runs; r++ {
-		s, err := sched.New(*tech, sched.Params{
-			N: *n, P: *p, H: *h, Mu: work.Mean(), Sigma: work.Std(),
-			MinChunk: *minChunk, Chunk: *chunk, First: *first, Last: *last,
-			Alpha: *alpha, Weights: ws,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfg := sim.Config{
-			P: *p, Sched: s, Work: work,
-			RNG:            rng.StreamFor(*seed, r),
-			H:              *h,
-			HInDynamics:    *hDyn,
-			PerMessageCost: *msgCost,
-		}
-		if *traceOut != "" && r == *runs-1 {
-			recorder = trace.NewRecorder()
-			cfg.Observe = recorder.Record
-		}
-		res, err := sim.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		wasted += metrics.AverageWasted(res.Makespan, res.Compute, res.SchedOps, *h)
-		makespans += res.Makespan
-		opsTotal += float64(res.SchedOps)
-		lastRes = res
+	point := engine.RunSpec{
+		Technique: *tech, N: *n, P: *p, Work: work,
+		H: *h, HInDynamics: *hDyn, PerMessageCost: *msgCost,
+		MinChunk: *minChunk, Chunk: *chunk, First: *first, Last: *last,
+		Alpha: *alpha, Weights: ws,
 	}
-	k := float64(*runs)
+	seedFor := func(_, r int) uint64 { return rng.RunSeed(*seed, r) }
+
+	recorder := trace.NewRecorder()
+	if *traceOut != "" {
+		// Execute the final run with the recorder attached before the
+		// campaign: runs are deterministic per seed, so this is the run
+		// the campaign will measure — and a backend that cannot observe
+		// chunks (msg) fails here, before the campaign's work is spent.
+		be, err := engine.New(*backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec := point
+		spec.RNGState = seedFor(0, *runs-1)
+		spec.Observe = recorder.Record
+		if _, err := be.Run(spec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := engine.Campaign{
+		Backend:      *backend,
+		Points:       []engine.RunSpec{point},
+		Replications: *runs,
+		Workers:      *workers,
+		SeedFor:      seedFor,
+		KeepRuns:     *verbose, // only the -v per-PE table reads per-run results
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := res.Aggregates[0]
 	seq := workload.Total(work, *n)
 
 	fmt.Printf("technique        %s\n", *tech)
+	fmt.Printf("backend          %s\n", *backend)
 	fmt.Printf("tasks            %d\n", *n)
 	fmt.Printf("PEs              %d\n", *p)
 	fmt.Printf("workload         %s (mu=%.4g s, sigma=%.4g s)\n", work.Name(), work.Mean(), work.Std())
 	fmt.Printf("overhead h       %.4g s\n", *h)
 	fmt.Printf("runs             %d\n", *runs)
-	fmt.Printf("mean makespan    %.6g s\n", makespans/k)
-	fmt.Printf("mean sched ops   %.6g\n", opsTotal/k)
-	fmt.Printf("mean avg wasted  %.6g s\n", wasted/k)
-	fmt.Printf("speedup          %.4g (ideal %d)\n", seq/(makespans/k), *p)
+	fmt.Printf("mean makespan    %.6g s\n", agg.Makespan.Mean)
+	fmt.Printf("mean sched ops   %.6g\n", agg.MeanOps)
+	fmt.Printf("mean avg wasted  %.6g s\n", agg.Wasted.Mean)
+	fmt.Printf("speedup          %.4g (ideal %d)\n", seq/agg.Makespan.Mean, *p)
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -161,7 +169,8 @@ func main() {
 		log.Printf("wrote %d chunk events to %s", len(recorder.Trace().Events), *traceOut)
 	}
 
-	if *verbose && lastRes != nil {
+	if *verbose {
+		lastRes := agg.Results[*runs-1]
 		fmt.Println("\nlast run, per PE:")
 		var tb ascii.Table
 		tb.AddRow("PE", "tasks", "ops", "compute_s", "idle_s")

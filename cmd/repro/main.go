@@ -22,9 +22,11 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/ascii"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/refdata"
@@ -41,11 +43,13 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		runs = fs.Int("runs", 1000, "runs per grid cell (paper: 1000)")
-		seed = fs.Uint64("seed", 20170601, "base seed (must differ from the reference seed)")
-		n    = fs.Int64("n", 1024, "task count for the hagerup subcommand")
-		out  = fs.String("out", "rawdata", "output directory for the csv subcommand")
-		msg  = fs.Bool("msg", false, "drive TSS experiments through the full MSG simulation")
+		runs    = fs.Int("runs", 1000, "runs per grid cell (paper: 1000)")
+		seed    = fs.Uint64("seed", 20170601, "base seed (must differ from the reference seed)")
+		n       = fs.Int64("n", 1024, "task count for the hagerup subcommand")
+		out     = fs.String("out", "rawdata", "output directory for the csv subcommand")
+		msg     = fs.Bool("msg", false, "drive TSS experiments through the full MSG simulation")
+		backend = fs.String("backend", engine.DefaultBackend,
+			"simulation backend for grid experiments: "+strings.Join(engine.Names(), ", "))
 	)
 	fs.Parse(os.Args[2:])
 
@@ -59,25 +63,25 @@ func main() {
 	case "tss2":
 		runTzen(2, *msg)
 	case "hagerup":
-		runHagerup(*n, *runs, *seed, false)
+		runHagerup(*n, *runs, *seed, false, *backend)
 	case "fig9":
-		runFig9(*runs, *seed)
+		runFig9(*runs, *seed, *backend)
 	case "tables":
 		printTables()
 	case "verify":
 		runVerify(*runs, *seed)
 	case "extension":
-		runExtension(*runs, *seed)
+		runExtension(*runs, *seed, *backend)
 	case "csv":
-		exportCSV(*out, *runs, *seed)
+		exportCSV(*out, *runs, *seed, *backend)
 	case "all":
 		printTables()
 		runTzen(1, *msg)
 		runTzen(2, *msg)
 		for _, nn := range []int64{1024, 8192, 65536, 524288} {
-			runHagerup(nn, *runs, *seed, false)
+			runHagerup(nn, *runs, *seed, false, *backend)
 		}
-		runFig9(*runs, *seed)
+		runFig9(*runs, *seed, *backend)
 	default:
 		usage()
 		os.Exit(2)
@@ -134,11 +138,12 @@ func runVerify(runs int, seed uint64) {
 // runExtension executes the paper's §VI future work: the TAP/WF/AWF*/AF
 // techniques on the Hagerup grid, plus the TSS publication's GSS(k) and
 // CSS(k) parameter sweeps.
-func runExtension(runs int, seed uint64) {
+func runExtension(runs int, seed uint64, backend string) {
 	fmt.Println("\n=== Extension: future-work techniques (paper §VI) on the Hagerup grid ===")
 	spec := experiment.FutureWorkSpec(seed)
 	spec.Ns = []int64{8192}
 	spec.Runs = runs
+	spec.Backend = backend
 	log.Printf("future-work grid: n=8192, %d runs per cell...", runs)
 	res, err := experiment.RunHagerup(spec)
 	if err != nil {
@@ -264,7 +269,7 @@ func tzenVerdict(exp int, res *experiment.TzenResult) string {
 
 // runHagerup reproduces one of Figures 5–8: panels (a) reference values,
 // (b) simulation values, (c) discrepancy, (d) relative discrepancy.
-func runHagerup(n int64, runs int, seed uint64, keepPerRun bool) *experiment.HagerupResult {
+func runHagerup(n int64, runs int, seed uint64, keepPerRun bool, backend string) *experiment.HagerupResult {
 	figure := map[int64]int{1024: 5, 8192: 6, 65536: 7, 524288: 8}[n]
 	if figure == 0 {
 		log.Fatalf("hagerup: n must be one of 1024, 8192, 65536, 524288 (Table III); got %d", n)
@@ -273,6 +278,7 @@ func runHagerup(n int64, runs int, seed uint64, keepPerRun bool) *experiment.Hag
 	spec.Ns = []int64{n}
 	spec.Runs = runs
 	spec.KeepPerRun = keepPerRun
+	spec.Backend = backend
 	log.Printf("Figure %d: %d tasks, %d runs per cell...", figure, n, runs)
 	res, err := experiment.RunHagerup(spec)
 	if err != nil {
@@ -354,7 +360,7 @@ func printWastedTable(n int64, ps []int, value func(tech string, p int) float64)
 // runFig9 reproduces Figure 9: the average wasted time of each run of
 // FAC with 2 workers and 524,288 tasks, plus the outlier analysis of
 // §IV-B4.
-func runFig9(runs int, seed uint64) {
+func runFig9(runs int, seed uint64, backend string) {
 	log.Printf("Figure 9: FAC, 2 PEs, 524288 tasks, %d runs...", runs)
 	spec := experiment.HagerupGrid(seed)
 	spec.Techniques = []string{"FAC"}
@@ -362,6 +368,7 @@ func runFig9(runs int, seed uint64) {
 	spec.Ps = []int{2}
 	spec.Runs = runs
 	spec.KeepPerRun = true
+	spec.Backend = backend
 	res, err := experiment.RunHagerup(spec)
 	if err != nil {
 		log.Fatal(err)
@@ -435,7 +442,7 @@ func printTables() {
 }
 
 // exportCSV writes the raw data of all experiments (paper §V).
-func exportCSV(dir string, runs int, seed uint64) {
+func exportCSV(dir string, runs int, seed uint64, backend string) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -454,6 +461,7 @@ func exportCSV(dir string, runs int, seed uint64) {
 
 	spec := experiment.HagerupGrid(seed)
 	spec.Runs = runs
+	spec.Backend = backend
 	res, err := experiment.RunHagerup(spec)
 	if err != nil {
 		log.Fatal(err)
@@ -468,6 +476,7 @@ func exportCSV(dir string, runs int, seed uint64) {
 	f9.Ps = []int{2}
 	f9.Runs = runs
 	f9.KeepPerRun = true
+	f9.Backend = backend
 	r9, err := experiment.RunHagerup(f9)
 	if err != nil {
 		log.Fatal(err)

@@ -12,10 +12,14 @@
 //
 //   - internal/sched — the 15 DLS chunk calculators (STAT, SS, CSS, FSC,
 //     GSS, TSS, FAC, FAC2, BOLD, TAP, WF, AWF, AWF-B, AWF-C, AF)
-//   - internal/sim — the Hagerup-replica master–worker simulator
+//   - internal/engine — the unified simulation layer: pluggable Backend
+//     implementations behind a name registry, plus the parallel campaign
+//     runner every multi-run entry point fans out through
+//   - internal/sim — the Hagerup-replica master–worker simulator (the
+//     "sim" backend)
 //   - internal/des, internal/msg, internal/platform — the SimGrid-MSG
 //     equivalent (process-oriented kernel, mailboxes, platform/deployment
-//     XML)
+//     XML), exposed as the "des" and "msg" backends
 //   - internal/workload, internal/rng — task-time generators over a
 //     bit-exact rand48 family
 //   - internal/metrics, internal/experiment, internal/refdata — wasted
@@ -25,6 +29,13 @@
 //
 //	wasted, err := repro.WastedTime("FAC2", 8192, 64,
 //	    repro.WithExponential(1), repro.WithOverhead(0.5), repro.WithSeed(42))
+//
+// Every simulation accepts a backend selection: WithBackend("msg") runs
+// the same scenario through the full SimGrid-MSG process model instead
+// of the fast chunk-granularity simulator, and Backends() lists the
+// registered names. Multi-run entry points (MeanWastedTime, Compare)
+// execute their replications concurrently through the engine's campaign
+// runner; results are bit-identical to a serial loop for a given seed.
 //
 // The benchmark harness regenerating every figure of the paper lives in
 // bench_test.go and cmd/repro; see DESIGN.md and EXPERIMENTS.md.

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// desBackend runs the master–worker loop directly on the process-oriented
+// discrete-event kernel (internal/des): one process per worker, the
+// master folded into the (zero-cost) chunk calculation at request time.
+// It models exactly the dynamics of the sim backend — free communication
+// by default, optional master serialization and per-message cost — but
+// exercises the kernel's cooperative scheduling instead of an event heap,
+// cross-validating the two event orderings.
+type desBackend struct{}
+
+func init() { Register(desBackend{}) }
+
+func (desBackend) Name() string { return "des" }
+
+func (desBackend) Run(spec RunSpec) (*RunResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := spec.Scheduler()
+	if err != nil {
+		return nil, err
+	}
+	r := spec.RNG()
+	res := &RunResult{
+		Compute:        make([]float64, spec.P),
+		OpsPerWorker:   make([]int64, spec.P),
+		TasksPerWorker: make([]int64, spec.P),
+	}
+
+	// The kernel runs exactly one process at a time, so the shared
+	// scheduler, task counter and result require no locking.
+	k := des.New()
+	var nextTask int64
+	var masterFree float64
+	var runErr error
+	for w := 0; w < spec.P; w++ {
+		w := w
+		start := 0.0
+		if spec.StartTimes != nil {
+			start = spec.StartTimes[w]
+		}
+		speed := 1.0
+		if spec.Speeds != nil {
+			speed = spec.Speeds[w]
+		}
+		k.SpawnAt(start, fmt.Sprintf("worker-%d", w), func(p *des.Process) {
+			for {
+				t := p.Now()
+				serviceEnd := t
+				if spec.HInDynamics {
+					st := t
+					if masterFree > st {
+						st = masterFree
+					}
+					serviceEnd = st + spec.H
+					masterFree = serviceEnd
+					res.MasterBusy += spec.H
+				}
+				chunk := s.Next(w, t)
+				if chunk == 0 {
+					return
+				}
+				chunkStart := nextTask
+				exec := spec.Work.ChunkTime(nextTask, chunk, r)
+				nextTask += chunk
+				if speed <= 0 {
+					if runErr == nil {
+						runErr = fmt.Errorf("engine: des: non-positive speed %v for worker %d", speed, w)
+					}
+					return
+				}
+				exec /= speed
+				done := serviceEnd + spec.PerMessageCost + exec
+				res.CommTime += spec.PerMessageCost
+				res.Compute[w] += exec
+				res.OpsPerWorker[w]++
+				res.TasksPerWorker[w] += chunk
+				res.SchedOps++
+				s.Report(w, chunk, exec, done)
+				if spec.Observe != nil {
+					spec.Observe(w, chunkStart, chunk, serviceEnd, done)
+				}
+				if done > res.Makespan {
+					res.Makespan = done
+				}
+				p.Hold(done - t)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("engine: des backend: %w", err)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}

@@ -1,0 +1,46 @@
+package engine
+
+import "repro/internal/sim"
+
+// simBackend adapts the chunk-granularity Hagerup-replica simulator
+// (internal/sim) — the fast path every figure of the paper is produced
+// with. It supports the full RunSpec surface.
+type simBackend struct{}
+
+func init() { Register(simBackend{}) }
+
+func (simBackend) Name() string { return "sim" }
+
+func (simBackend) Run(spec RunSpec) (*RunResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := spec.Scheduler()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Config{
+		P:              spec.P,
+		Sched:          s,
+		Work:           spec.Work,
+		RNG:            spec.RNG(),
+		Speeds:         spec.Speeds,
+		StartTimes:     spec.StartTimes,
+		H:              spec.H,
+		HInDynamics:    spec.HInDynamics,
+		PerMessageCost: spec.PerMessageCost,
+		Observe:        spec.Observe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Makespan:       res.Makespan,
+		Compute:        res.Compute,
+		SchedOps:       res.SchedOps,
+		OpsPerWorker:   res.OpsPerWorker,
+		TasksPerWorker: res.TasksPerWorker,
+		CommTime:       res.CommTime,
+		MasterBusy:     res.MasterBusy,
+	}, nil
+}

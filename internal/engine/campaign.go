@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// Campaign describes a (point × replication) grid of independent runs —
+// the shape of every experiment in the paper (1000 replications per grid
+// cell, §IV). The runner fans the grid out over a bounded worker pool;
+// results are bit-identical for a given seed regardless of Workers or
+// completion order, because each run's stream is derived from its
+// (point, replication) coordinates and per-run metrics are reduced in
+// replication order, never in completion order.
+type Campaign struct {
+	// Backend names the registered simulation backend; "" selects
+	// DefaultBackend.
+	Backend string
+
+	// Points are the grid's distinct configurations (technique ×
+	// parameters). A point's RNGState is the point's base seed; the
+	// per-replication state comes from SeedFor.
+	Points []RunSpec
+
+	// Replications is the number of independent runs per point
+	// (paper: 1000).
+	Replications int
+
+	// Workers bounds the concurrently executing runs; 0 selects
+	// GOMAXPROCS.
+	Workers int
+
+	// SeedFor derives the rand48 state of run (point, rep). Nil selects
+	// rng.RunSeed(Points[point].RNGState, rep), the derivation the
+	// experiment layer has always used.
+	SeedFor func(point, rep int) uint64
+
+	// KeepRuns retains per-run metrics and full results in the
+	// aggregates (needed for the paper's Figure 9 per-run analysis).
+	KeepRuns bool
+}
+
+// RunMetrics are the per-run scalars the campaigns of the paper report.
+type RunMetrics struct {
+	Wasted   float64 // average wasted time (paper §III-B), H charged per op
+	Makespan float64
+	Speedup  float64 // sequential time over makespan
+	SchedOps int64
+}
+
+// Aggregate summarizes all replications of one campaign point.
+type Aggregate struct {
+	Spec RunSpec // the point, with RNGState as passed in
+
+	Wasted   metrics.Summary
+	Makespan metrics.Summary
+	Speedup  metrics.Summary
+	MeanOps  float64 // mean scheduling operations per run
+
+	PerRun  []RunMetrics // per-run metrics, replication order (KeepRuns)
+	Results []*RunResult // full per-run results (KeepRuns)
+}
+
+// CampaignResult holds one aggregate per campaign point, aligned with
+// Campaign.Points.
+type CampaignResult struct {
+	Aggregates []Aggregate
+}
+
+// Run executes the campaign. The first run error aborts the remaining
+// grid and is returned.
+func (c Campaign) Run() (*CampaignResult, error) {
+	if len(c.Points) == 0 {
+		return nil, fmt.Errorf("engine: campaign has no points")
+	}
+	if c.Replications <= 0 {
+		return nil, fmt.Errorf("engine: Replications must be positive, got %d", c.Replications)
+	}
+	be, err := New(c.Backend)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range c.Points {
+		if err := pt.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: campaign point %d: %w", i, err)
+		}
+	}
+	seedFor := c.SeedFor
+	if seedFor == nil {
+		seedFor = func(point, rep int) uint64 {
+			return rng.RunSeed(c.Points[point].RNGState, rep)
+		}
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reps := c.Replications
+	total := len(c.Points) * reps
+	if workers > total {
+		workers = total
+	}
+
+	perRun := make([][]RunMetrics, len(c.Points))
+	var results [][]*RunResult
+	if c.KeepRuns {
+		results = make([][]*RunResult, len(c.Points))
+	}
+	for i := range c.Points {
+		perRun[i] = make([]RunMetrics, reps)
+		if c.KeepRuns {
+			results[i] = make([]*RunResult, reps)
+		}
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := next.Add(1) - 1
+				if j >= int64(total) || failed.Load() {
+					return
+				}
+				pi, rep := int(j)/reps, int(j)%reps
+				spec := c.Points[pi]
+				spec.RNGState = seedFor(pi, rep)
+				res, err := be.Run(spec)
+				if err != nil {
+					fail(fmt.Errorf("engine: point %d replication %d: %w", pi, rep, err))
+					return
+				}
+				perRun[pi][rep] = pointMetrics(spec, res)
+				if c.KeepRuns {
+					results[pi][rep] = res
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := &CampaignResult{Aggregates: make([]Aggregate, len(c.Points))}
+	for pi := range c.Points {
+		agg := Aggregate{Spec: c.Points[pi]}
+		wasted := make([]float64, reps)
+		makespans := make([]float64, reps)
+		speedups := make([]float64, reps)
+		var opsSum int64
+		for rep, m := range perRun[pi] {
+			wasted[rep] = m.Wasted
+			makespans[rep] = m.Makespan
+			speedups[rep] = m.Speedup
+			opsSum += m.SchedOps
+		}
+		agg.Wasted = metrics.Summarize(wasted)
+		agg.Makespan = metrics.Summarize(makespans)
+		agg.Speedup = metrics.Summarize(speedups)
+		agg.MeanOps = float64(opsSum) / float64(reps)
+		if c.KeepRuns {
+			agg.PerRun = perRun[pi]
+			agg.Results = results[pi]
+		}
+		out.Aggregates[pi] = agg
+	}
+	return out, nil
+}
+
+// pointMetrics reduces one run result to the campaign's per-run scalars.
+func pointMetrics(spec RunSpec, res *RunResult) RunMetrics {
+	m := RunMetrics{
+		Wasted:   metrics.AverageWasted(res.Makespan, res.Compute, res.SchedOps, spec.H),
+		Makespan: res.Makespan,
+		SchedOps: res.SchedOps,
+	}
+	if res.Makespan > 0 {
+		m.Speedup = workload.Total(spec.Work, spec.N) / res.Makespan
+	}
+	return m
+}

@@ -12,14 +12,12 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -35,6 +33,7 @@ type HagerupSpec struct {
 	Seed       uint64   // base seed; all run streams derive from it
 	Workers    int      // concurrent runs; 0 selects GOMAXPROCS
 	KeepPerRun bool     // retain per-run wasted times (needed for Figure 9)
+	Backend    string   // engine backend executing the runs; "" = "sim"
 }
 
 // Validate checks the spec for usability.
@@ -55,6 +54,9 @@ func (s HagerupSpec) Validate() error {
 		if _, err := sched.New(tech, sched.Params{N: 16, P: 2, H: s.H, Mu: s.Mu, Sigma: s.Mu}); err != nil {
 			return fmt.Errorf("experiment: %w", err)
 		}
+	}
+	if _, err := engine.New(s.Backend); err != nil {
+		return fmt.Errorf("experiment: %w", err)
 	}
 	return nil
 }
@@ -117,41 +119,46 @@ func cellSeed(seed uint64, tech string, n int64, p int) uint64 {
 	return h
 }
 
-// OneHagerupRun executes a single run of one cell and returns its average
-// wasted time and the number of scheduling operations.
+// OneHagerupRun executes a single run of one cell on the default backend
+// and returns its average wasted time and the number of scheduling
+// operations.
 func OneHagerupRun(tech string, n int64, p int, mu, h float64, stream *rng.Rand48) (wasted float64, ops int64, err error) {
-	s, err := sched.New(tech, sched.Params{N: n, P: p, H: h, Mu: mu, Sigma: mu})
+	be, err := engine.New(engine.DefaultBackend)
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := sim.Run(sim.Config{
-		P:     p,
-		Sched: s,
-		Work:  workload.NewExponential(mu),
-		RNG:   stream,
-	})
+	res, err := be.Run(hagerupSpec(tech, n, p, mu, h, stream.State()))
 	if err != nil {
 		return 0, 0, err
 	}
 	return metrics.AverageWasted(res.Makespan, res.Compute, res.SchedOps, h), res.SchedOps, nil
 }
 
+// hagerupSpec maps one grid cell onto the engine's run description. H is
+// charged post hoc in the metrics, as the paper's faithful mode does, so
+// the spec carries it without enabling HInDynamics.
+func hagerupSpec(tech string, n int64, p int, mu, h float64, state uint64) engine.RunSpec {
+	return engine.RunSpec{
+		Technique: tech,
+		N:         n,
+		P:         p,
+		Work:      workload.NewExponential(mu),
+		H:         h,
+		RNGState:  state,
+	}
+}
+
 // RunHagerup executes the full grid, farming the independent runs of each
-// cell over a worker pool.
+// cell over the engine's campaign runner.
 func RunHagerup(spec HagerupSpec) (*HagerupResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
 	result := &HagerupResult{Spec: spec, index: make(map[string]int)}
 	for _, n := range spec.Ns {
 		for _, p := range spec.Ps {
 			for _, tech := range spec.Techniques {
-				cell, err := runCell(spec, tech, n, p, workers)
+				cell, err := runCell(spec, tech, n, p)
 				if err != nil {
 					return nil, err
 				}
@@ -163,54 +170,28 @@ func RunHagerup(spec HagerupSpec) (*HagerupResult, error) {
 	return result, nil
 }
 
-// runCell farms the runs of one cell over the pool and aggregates.
-func runCell(spec HagerupSpec, tech string, n int64, p, workers int) (*Cell, error) {
+// runCell fans the replications of one cell out over the campaign runner
+// and aggregates.
+func runCell(spec HagerupSpec, tech string, n int64, p int) (*Cell, error) {
 	base := cellSeed(spec.Seed, tech, n, p)
-	wasted := make([]float64, spec.Runs)
-	ops := make([]int64, spec.Runs)
-
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	next := make(chan int)
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for run := range next {
-				stream := rng.StreamFor(base, run)
-				v, o, err := OneHagerupRun(tech, n, p, spec.Mu, spec.H, stream)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				wasted[run] = v
-				ops[run] = o
-			}
-		}()
+	res, err := engine.Campaign{
+		Backend:      spec.Backend,
+		Points:       []engine.RunSpec{hagerupSpec(tech, n, p, spec.Mu, spec.H, 0)},
+		Replications: spec.Runs,
+		Workers:      spec.Workers,
+		SeedFor:      func(_, run int) uint64 { return rng.RunSeed(base, run) },
+		KeepRuns:     spec.KeepPerRun,
+	}.Run()
+	if err != nil {
+		return nil, err
 	}
-	for run := 0; run < spec.Runs; run++ {
-		next <- run
-	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	cell := &Cell{Technique: tech, N: n, P: p, Wasted: metrics.Summarize(wasted)}
-	var opSum int64
-	for _, o := range ops {
-		opSum += o
-	}
-	cell.MeanOps = float64(opSum) / float64(spec.Runs)
+	agg := res.Aggregates[0]
+	cell := &Cell{Technique: tech, N: n, P: p, Wasted: agg.Wasted, MeanOps: agg.MeanOps}
 	if spec.KeepPerRun {
-		cell.PerRun = wasted
+		cell.PerRun = make([]float64, len(agg.PerRun))
+		for i, m := range agg.PerRun {
+			cell.PerRun[i] = m.Wasted
+		}
 	}
 	return cell, nil
 }

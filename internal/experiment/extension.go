@@ -3,10 +3,8 @@ package experiment
 import (
 	"fmt"
 
-	"repro/internal/metrics"
+	"repro/internal/engine"
 	"repro/internal/rng"
-	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -34,35 +32,40 @@ type GSSSweepResult struct {
 }
 
 // GSSSweep measures GSS(k) over the k values the TSS publication tests
-// (1, 2, 5, 10, 20, ⌊n/p⌋) on one Hagerup-style cell.
+// (1, 2, 5, 10, 20, ⌊n/p⌋) on one Hagerup-style cell. Each k is one
+// campaign point; its runs execute concurrently.
 func GSSSweep(n int64, p int, runs int, mu, h float64, seed uint64) (*GSSSweepResult, error) {
 	if runs <= 0 || n <= 0 || p <= 0 {
 		return nil, fmt.Errorf("experiment: invalid GSS sweep (n=%d p=%d runs=%d)", n, p, runs)
 	}
 	ks := []int64{1, 2, 5, 10, 20, n / int64(p)}
-	res := &GSSSweepResult{Ks: ks}
-	for _, k := range ks {
-		var wastedSum, opsSum float64
-		for r := 0; r < runs; r++ {
-			s, err := sched.New("GSS", sched.Params{N: n, P: p, MinChunk: k, Mu: mu, Sigma: mu, H: h})
-			if err != nil {
-				return nil, err
-			}
-			out, err := sim.Run(sim.Config{
-				P: p, Sched: s,
-				Work: workload.NewExponential(mu),
-				RNG:  rng.StreamFor(seed^uint64(k)<<32, r),
-			})
-			if err != nil {
-				return nil, err
-			}
-			wastedSum += metrics.AverageWasted(out.Makespan, out.Compute, out.SchedOps, h)
-			opsSum += float64(out.SchedOps)
+	points := make([]engine.RunSpec, len(ks))
+	for i, k := range ks {
+		points[i] = engine.RunSpec{
+			Technique: "GSS",
+			N:         n,
+			P:         p,
+			Work:      workload.NewExponential(mu),
+			H:         h,
+			MinChunk:  k,
 		}
-		res.Wasted = append(res.Wasted, wastedSum/float64(runs))
-		res.Ops = append(res.Ops, opsSum/float64(runs))
 	}
-	return res, nil
+	res, err := engine.Campaign{
+		Points:       points,
+		Replications: runs,
+		SeedFor: func(point, run int) uint64 {
+			return rng.RunSeed(seed^uint64(ks[point])<<32, run)
+		},
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &GSSSweepResult{Ks: ks}
+	for _, agg := range res.Aggregates {
+		out.Wasted = append(out.Wasted, agg.Wasted.Mean)
+		out.Ops = append(out.Ops, agg.MeanOps)
+	}
+	return out, nil
 }
 
 // CSSSweepResult reports the speedup of CSS(k) over a range of chunk
@@ -90,15 +93,17 @@ func CSSSweep(n int64, p int, taskTime float64, masterOverhead, rtt float64) (*C
 	// Always include the publication's recommended k = n/p (it yields
 	// exactly one chunk per PE and reported speedup 69.2 of 72).
 	ks = append(ks, n/int64(p))
+	be, err := engine.New(engine.DefaultBackend)
+	if err != nil {
+		return nil, err
+	}
 	for _, k := range ks {
-		s, err := sched.New("CSS", sched.Params{N: n, P: p, Chunk: k})
-		if err != nil {
-			return nil, err
-		}
-		out, err := sim.Run(sim.Config{
+		out, err := be.Run(engine.RunSpec{
+			Technique:      "CSS",
+			N:              n,
 			P:              p,
-			Sched:          s,
 			Work:           workload.NewConstant(taskTime),
+			Chunk:          k,
 			H:              masterOverhead,
 			HInDynamics:    masterOverhead > 0,
 			PerMessageCost: rtt,

@@ -3,11 +3,8 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
-	"repro/internal/msg"
-	"repro/internal/platform"
-	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -106,31 +103,30 @@ func RunTzen(spec TzenSpec) (*TzenResult, error) {
 }
 
 func runTzenPoint(spec TzenSpec, curve TzenCurve, p int) (*TzenPoint, error) {
-	s, err := sched.New(curve.Tech, sched.Params{
-		N: spec.N, P: p,
-		Mu: spec.TaskTime, Sigma: 0,
-		MinChunk: curve.MinChunk,
-	})
+	// Fast path and MSG path are the same run description on different
+	// engine backends: the request/reply round trip of 2 hops over 2
+	// links each (worker link + backbone) is a per-operation cost of
+	// 4·latency, and the master's service time is charged per operation
+	// inside the dynamics.
+	backend := engine.DefaultBackend
+	if spec.UseMSG {
+		backend = "msg"
+	}
+	be, err := engine.New(backend)
 	if err != nil {
 		return nil, err
 	}
 	work := workload.NewConstant(spec.TaskTime)
 	seq := workload.Total(work, spec.N)
-
-	if spec.UseMSG {
-		return runTzenPointMSG(spec, s, work, seq, p)
-	}
-
-	// Fast path: request/reply round trip = 2 hops of 2 links each
-	// (worker link + backbone), master service charged per operation.
-	rtt := 4 * spec.LinkLatency
-	res, err := sim.Run(sim.Config{
+	res, err := be.Run(engine.RunSpec{
+		Technique:      curve.Tech,
+		N:              spec.N,
 		P:              p,
-		Sched:          s,
 		Work:           work,
+		MinChunk:       curve.MinChunk,
 		H:              spec.MasterOverhead,
 		HInDynamics:    spec.MasterOverhead > 0,
-		PerMessageCost: rtt,
+		PerMessageCost: 4 * spec.LinkLatency,
 	})
 	if err != nil {
 		return nil, err
@@ -141,35 +137,4 @@ func runTzenPoint(spec TzenSpec, curve TzenCurve, p int) (*TzenPoint, error) {
 	}
 	schedTotal := res.CommTime + res.MasterBusy
 	return &TzenPoint{P: p, TzenNi: metrics.TzenNiMetrics(seq, res.Makespan, computeTotal, schedTotal, p)}, nil
-}
-
-func runTzenPointMSG(spec TzenSpec, s sched.Scheduler, work workload.Workload, seq float64, p int) (*TzenPoint, error) {
-	// BBN GP-1000 stand-in: 96-node star, unit-speed PEs so workload
-	// seconds map directly to execution seconds, generous bandwidth so
-	// only latency matters for the small control messages.
-	pl, err := platform.Cluster("bbn", p, 1.0, 1e9, spec.LinkLatency)
-	if err != nil {
-		return nil, err
-	}
-	workers := make([]string, p)
-	for i := range workers {
-		workers[i] = fmt.Sprintf("bbn-%d", i+1)
-	}
-	res, err := msg.RunApp(msg.NewEngine(pl), msg.AppConfig{
-		MasterHost:     "bbn-0",
-		WorkerHosts:    workers,
-		Sched:          s,
-		Work:           work,
-		ReferenceSpeed: 1,
-		MasterOverhead: spec.MasterOverhead,
-	})
-	if err != nil {
-		return nil, err
-	}
-	var computeTotal, commTotal float64
-	for w := range res.Compute {
-		computeTotal += res.Compute[w]
-		commTotal += res.CommWait[w]
-	}
-	return &TzenPoint{P: p, TzenNi: metrics.TzenNiMetrics(seq, res.Makespan, computeTotal, commTotal, p)}, nil
 }
