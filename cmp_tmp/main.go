@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+	"repro/internal/experiment"
+)
+
+func main() {
+	v, err := repro.MeanWastedTime("FAC2", 2048, 16, 25, repro.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mwt %.17g\n", v)
+	m, err := repro.Compare([]string{"STAT", "SS", "GSS", "FAC2"}, 1024, 8, repro.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range []string{"STAT", "SS", "GSS", "FAC2"} {
+		fmt.Printf("cmp %s %.17g\n", t, m[t])
+	}
+	spec := experiment.HagerupGrid(20170601)
+	spec.Ns = []int64{1024}
+	spec.Ps = []int{2, 16}
+	spec.Techniques = []string{"SS", "FAC"}
+	spec.Runs = 50
+	spec.KeepPerRun = true
+	res, err := experiment.RunHagerup(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		fmt.Printf("cell %s n=%d p=%d mean=%.17g ops=%.17g run0=%.17g\n",
+			c.Technique, c.N, c.P, c.Wasted.Mean, c.MeanOps, c.PerRun[0])
+	}
+	g, err := experiment.GSSSweep(1024, 8, 20, 1, 0.5, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range g.Ks {
+		fmt.Printf("gss k=%d wasted=%.17g ops=%.17g\n", g.Ks[i], g.Wasted[i], g.Ops[i])
+	}
+}
