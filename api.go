@@ -2,7 +2,10 @@ package repro
 
 import (
 	"fmt"
+	"path/filepath"
+	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -15,6 +18,8 @@ import (
 // the fast "sim" backend).
 type Config struct {
 	work       workload.Workload
+	workSpec   workload.Spec // declarative form of work, when expressible
+	declarable bool          // workSpec mirrors work (false for WithWorkload)
 	h          float64
 	hSet       bool
 	seed       uint64
@@ -30,6 +35,7 @@ type Config struct {
 	msgCost    float64
 	backend    string
 	workers    int
+	cacheDir   string
 }
 
 // Option customizes a simulation.
@@ -38,29 +44,50 @@ type Option func(*Config)
 // WithExponential selects i.i.d. exponential task times with mean mu
 // (the BOLD publication's workload).
 func WithExponential(mu float64) Option {
-	return func(c *Config) { c.work = workload.NewExponential(mu) }
+	return func(c *Config) {
+		c.work = workload.NewExponential(mu)
+		c.workSpec = workload.Spec{Kind: "exponential", P1: mu}
+		c.declarable = true
+	}
 }
 
 // WithConstant selects constant task times of c seconds (the TSS
 // publication's workload).
 func WithConstant(taskTime float64) Option {
-	return func(c *Config) { c.work = workload.NewConstant(taskTime) }
+	return func(c *Config) {
+		c.work = workload.NewConstant(taskTime)
+		c.workSpec = workload.Spec{Kind: "constant", P1: taskTime}
+		c.declarable = true
+	}
 }
 
 // WithUniform selects i.i.d. uniform task times in [lo, hi).
 func WithUniform(lo, hi float64) Option {
-	return func(c *Config) { c.work = workload.NewUniformRandom(lo, hi) }
+	return func(c *Config) {
+		c.work = workload.NewUniformRandom(lo, hi)
+		c.workSpec = workload.Spec{Kind: "uniform", P1: lo, P2: hi}
+		c.declarable = true
+	}
 }
 
 // WithIncreasing selects task times rising linearly from first to last
 // over the n tasks of the simulation.
 func WithIncreasing(first, last float64, n int64) Option {
-	return func(c *Config) { c.work = workload.NewIncreasing(first, last, n) }
+	return func(c *Config) {
+		c.work = workload.NewIncreasing(first, last, n)
+		c.workSpec = workload.Spec{Kind: "increasing", P1: first, P2: last, N: n}
+		c.declarable = true
+	}
 }
 
-// WithWorkload installs any workload implementation directly.
+// WithWorkload installs any workload implementation directly. Workloads
+// installed this way have no declarative description, so multi-run entry
+// points fall back to direct execution and skip the result cache.
 func WithWorkload(w workload.Workload) Option {
-	return func(c *Config) { c.work = w }
+	return func(c *Config) {
+		c.work = w
+		c.declarable = false
+	}
 }
 
 // WithOverhead sets the scheduling overhead h charged per scheduling
@@ -100,6 +127,16 @@ func WithBackend(name string) Option {
 // results are identical for any worker count.
 func WithRunWorkers(workers int) Option {
 	return func(c *Config) { c.workers = workers }
+}
+
+// WithCache serves repeated multi-run campaigns (MeanWastedTime,
+// Compare) from an on-disk content-addressed result store rooted at dir,
+// keyed by the canonical hash of the campaign description. Because
+// campaigns are bit-deterministic in their spec, a hit returns the exact
+// result of the original execution without re-simulation. Configurations
+// with no declarative description (WithWorkload) bypass the cache.
+func WithCache(dir string) Option {
+	return func(c *Config) { c.cacheDir = dir }
 }
 
 // WithSpeeds sets relative PE speeds (heterogeneous systems).
@@ -170,11 +207,87 @@ func buildConfig(n int64, p int, opts []Option) (Config, error) {
 	}
 	if c.work == nil {
 		c.work = workload.NewExponential(1)
+		c.workSpec = workload.Spec{Kind: "exponential", P1: 1}
+		c.declarable = true
 	}
 	if !c.hSet {
 		c.h = 0.5
 	}
 	return c, nil
+}
+
+// campaignSpec lifts the facade configuration into the engine's
+// declarative campaign description, when it is expressible as one.
+func (c Config) campaignSpec(techniques []string, n int64, p int, runs int, policy string) (engine.CampaignSpec, bool) {
+	if !c.declarable {
+		return engine.CampaignSpec{}, false
+	}
+	// The facade constructors accept some degenerate parameter sets the
+	// declarative workload parser rejects (e.g. uniform with hi == lo).
+	// Those keep running through the direct path, exactly as they did
+	// before campaign specs existed, and simply bypass the result cache.
+	if _, err := c.workSpec.Build(); err != nil {
+		return engine.CampaignSpec{}, false
+	}
+	return engine.CampaignSpec{
+		Backend:        c.backend,
+		Techniques:     techniques,
+		Ns:             []int64{n},
+		Ps:             []int{p},
+		Workload:       c.workSpec,
+		H:              c.h,
+		HInDynamics:    c.hDynamics,
+		PerMessageCost: c.msgCost,
+		Speeds:         c.speeds,
+		StartTimes:     c.startTimes,
+		MinChunk:       c.minChunk,
+		Chunk:          c.chunk,
+		First:          c.first,
+		Last:           c.last,
+		Alpha:          c.alpha,
+		Weights:        c.weights,
+		Replications:   runs,
+		Seed:           c.seed,
+		SeedPolicy:     policy,
+	}, true
+}
+
+// procTiers holds one process-lifetime memory tier per cache directory,
+// so repeated campaigns within one process skip the disk and JSON reads
+// entirely. Tiers are scoped per directory (not shared) so that a
+// campaign run against a second directory still populates that
+// directory's on-disk store. Entries live until process exit; each holds
+// the campaign's per-run metrics blob.
+var (
+	procMu    sync.Mutex
+	procTiers = make(map[string]*cache.Memory)
+)
+
+func memTierFor(dir string) *cache.Memory {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	procMu.Lock()
+	defer procMu.Unlock()
+	m, ok := procTiers[dir]
+	if !ok {
+		m = cache.NewMemory()
+		procTiers[dir] = m
+	}
+	return m
+}
+
+// resultCache opens the configured content-addressed store, if any: the
+// directory's in-process memory layer over its on-disk store.
+func (c Config) resultCache() (cache.Store, error) {
+	if c.cacheDir == "" {
+		return nil, nil
+	}
+	disk, err := cache.NewDisk(c.cacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return cache.NewTiered(memTierFor(c.cacheDir), disk), nil
 }
 
 // spec maps the facade configuration onto the engine's backend-neutral
@@ -248,7 +361,9 @@ func WastedTime(technique string, n int64, p int, opts ...Option) (float64, erro
 // MeanWastedTime averages the wasted time over the given number of
 // independent runs (the paper uses 1000), deriving one rand48 stream per
 // run from the configured seed. Replications execute concurrently on the
-// configured backend; the result is identical to running them serially.
+// configured backend through the engine's streaming campaign pipeline;
+// the result is identical to running them serially, and with WithCache a
+// repeated call is served from the content-addressed result store.
 func MeanWastedTime(technique string, n int64, p int, runs int, opts ...Option) (float64, error) {
 	if runs <= 0 {
 		return 0, fmt.Errorf("repro: runs must be positive, got %d", runs)
@@ -257,6 +372,18 @@ func MeanWastedTime(technique string, n int64, p int, runs int, opts ...Option) 
 	if err != nil {
 		return 0, err
 	}
+	if spec, ok := c.campaignSpec([]string{technique}, n, p, runs, engine.SeedFacade); ok {
+		store, err := c.resultCache()
+		if err != nil {
+			return 0, err
+		}
+		res, err := spec.Execute(engine.ExecConfig{Workers: c.workers, Cache: store})
+		if err != nil {
+			return 0, err
+		}
+		return res.Aggregates[0].Wasted.Mean, nil
+	}
+	// Workloads without a declarative description run directly.
 	res, err := engine.Campaign{
 		Backend:      c.backend,
 		Points:       []engine.RunSpec{c.spec(technique, n, p)},
@@ -274,7 +401,8 @@ func MeanWastedTime(technique string, n int64, p int, runs int, opts ...Option) 
 
 // Compare runs every named technique once under identical options and
 // returns technique → average wasted time. Techniques execute
-// concurrently; WithBackend targets any registered backend.
+// concurrently; WithBackend targets any registered backend and WithCache
+// serves repeated comparisons from the result store.
 func Compare(techniques []string, n int64, p int, opts ...Option) (map[string]float64, error) {
 	if len(techniques) == 0 {
 		return nil, fmt.Errorf("repro: Compare needs at least one technique")
@@ -283,21 +411,33 @@ func Compare(techniques []string, n int64, p int, opts ...Option) (map[string]fl
 	if err != nil {
 		return nil, err
 	}
-	points := make([]engine.RunSpec, len(techniques))
-	for i, t := range techniques {
-		points[i] = c.spec(t, n, p)
-	}
-	res, err := engine.Campaign{
-		Backend:      c.backend,
-		Points:       points,
-		Replications: 1,
-		Workers:      c.workers,
-		// One run per technique under the facade's single-run seed, as
-		// the serial WastedTime loop derived it.
-		SeedFor: func(_, _ int) uint64 { return rng.Mix64(c.seed) },
-	}.Run()
-	if err != nil {
-		return nil, err
+	var res *engine.CampaignResult
+	if spec, ok := c.campaignSpec(techniques, n, p, 1, engine.SeedShared); ok {
+		store, err := c.resultCache()
+		if err != nil {
+			return nil, err
+		}
+		res, err = spec.Execute(engine.ExecConfig{Workers: c.workers, Cache: store})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		points := make([]engine.RunSpec, len(techniques))
+		for i, t := range techniques {
+			points[i] = c.spec(t, n, p)
+		}
+		res, err = engine.Campaign{
+			Backend:      c.backend,
+			Points:       points,
+			Replications: 1,
+			Workers:      c.workers,
+			// One run per technique under the facade's single-run seed,
+			// as the serial WastedTime loop derived it.
+			SeedFor: func(_, _ int) uint64 { return rng.Mix64(c.seed) },
+		}.Run()
+		if err != nil {
+			return nil, err
+		}
 	}
 	out := make(map[string]float64, len(techniques))
 	for i, t := range techniques {

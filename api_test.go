@@ -2,9 +2,11 @@ package repro
 
 import (
 	"math"
+	"os"
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/workload"
 )
 
 func TestSimulateDefaults(t *testing.T) {
@@ -263,5 +265,111 @@ func TestWithOverheadInDynamics(t *testing.T) {
 	}
 	if dyn.Makespan <= plain.Makespan {
 		t.Fatalf("dynamics makespan %v <= plain %v", dyn.Makespan, plain.Makespan)
+	}
+}
+
+// TestWithIncreasingHonorsOwnTaskCount is a regression test: the ramp's
+// task count is part of the workload's shape (it sets the slope), so the
+// declarative campaign path must not substitute the simulation's n for
+// it. The declarative path (WithIncreasing) must match the opaque
+// fallback path (WithWorkload with the identical workload) bit for bit.
+func TestWithIncreasingHonorsOwnTaskCount(t *testing.T) {
+	const n, p, runs = 1000, 4, 5
+	declarative, err := MeanWastedTime("FAC2", n, p, runs,
+		WithIncreasing(0.001, 0.002, 100), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := MeanWastedTime("FAC2", n, p, runs,
+		WithWorkload(workload.NewIncreasing(0.001, 0.002, 100)), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if declarative != direct {
+		t.Fatalf("declarative path %v != direct path %v (workload N overridden)", declarative, direct)
+	}
+}
+
+// TestWithCacheServesRepeatedCampaigns: a repeated MeanWastedTime and
+// Compare with WithCache must return the exact live-run values (served
+// through the in-process memory tier and the on-disk store).
+func TestWithCacheServesRepeatedCampaigns(t *testing.T) {
+	dir := t.TempDir()
+	live, err := MeanWastedTime("FAC2", 1024, 8, 10, WithSeed(5), WithCache(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := MeanWastedTime("FAC2", 1024, 8, 10, WithSeed(5), WithCache(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != live {
+		t.Fatalf("cached mean %v != live mean %v", cached, live)
+	}
+	// And bit-identical to the uncached path.
+	plain, err := MeanWastedTime("FAC2", 1024, 8, 10, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != plain {
+		t.Fatalf("cache-enabled mean %v != plain mean %v", live, plain)
+	}
+
+	cmpLive, err := Compare([]string{"FAC2", "GSS"}, 512, 4, WithSeed(5), WithCache(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpCached, err := Compare([]string{"FAC2", "GSS"}, 512, 4, WithSeed(5), WithCache(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tech, v := range cmpLive {
+		if cmpCached[tech] != v {
+			t.Fatalf("cached Compare[%s] = %v, want %v", tech, cmpCached[tech], v)
+		}
+	}
+}
+
+// TestDegenerateWorkloadFallsBackToDirectPath: facade constructors
+// accept parameter sets the declarative workload parser rejects (uniform
+// with hi == lo); those must keep working through the direct path
+// instead of erroring on the campaign-spec path.
+func TestDegenerateWorkloadFallsBackToDirectPath(t *testing.T) {
+	viaOption, err := MeanWastedTime("SS", 1000, 4, 5, WithUniform(2, 2), WithSeed(1))
+	if err != nil {
+		t.Fatalf("degenerate uniform rejected: %v", err)
+	}
+	viaWorkload, err := MeanWastedTime("SS", 1000, 4, 5,
+		WithWorkload(workload.NewUniformRandom(2, 2)), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaOption != viaWorkload {
+		t.Fatalf("degenerate uniform mean %v != direct-path mean %v", viaOption, viaWorkload)
+	}
+	if _, err := Compare([]string{"SS"}, 100, 2, WithUniform(2, 2)); err != nil {
+		t.Fatalf("Compare with degenerate uniform rejected: %v", err)
+	}
+}
+
+// TestWithCachePopulatesEverySeparateDirectory: the in-process memory
+// tier is scoped per directory, so a campaign repeated against a second
+// directory must still write that directory's on-disk store.
+func TestWithCachePopulatesEverySeparateDirectory(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if _, err := MeanWastedTime("FAC2", 512, 4, 5, WithSeed(8), WithCache(dirA)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeanWastedTime("FAC2", 512, 4, 5, WithSeed(8), WithCache(dirB)); err != nil {
+		t.Fatal(err)
+	}
+	for name, dir := range map[string]string{"first": dirA, "second": dirB} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) == 0 {
+			t.Fatalf("%s cache directory %s not populated", name, dir)
+		}
 	}
 }

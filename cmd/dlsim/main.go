@@ -1,7 +1,13 @@
-// Command dlsim runs a single dynamic-loop-scheduling simulation and
-// prints its timing results — the smallest useful entry point into the
+// Command dlsim runs dynamic-loop-scheduling simulations and prints
+// their timing results — the smallest useful entry point into the
 // library (paper Figure 2's information model maps directly onto the
 // flags).
+//
+// Flag-driven single-point campaigns compile to a declarative
+// engine.CampaignSpec, so they are content-addressable: with -cache a
+// repeated invocation (same flags, same seed) is served from the result
+// store without re-simulation. Whole grids run from a JSON spec file via
+// -spec, and -out streams every run's metrics as CSV or JSON Lines.
 //
 // Examples:
 //
@@ -10,6 +16,8 @@
 //	dlsim -tech GSS -n 10000 -p 16 -min-chunk 5 -per-run 10
 //	dlsim -tech WF -n 4096 -p 4 -weights 1,1,2,4
 //	dlsim -tech FAC2 -n 8192 -p 64 -backend msg         # full MSG model
+//	dlsim -spec campaign.json -cache .dlsim-cache       # declarative grid
+//	dlsim -tech FAC -per-run 1000 -out runs.csv         # raw per-run data
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/ascii"
+	"repro/internal/cliutil"
 	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -55,12 +64,42 @@ func main() {
 		msgCost  = flag.Float64("msg-cost", 0, "fixed network cost per scheduling op, seconds (ablation A3)")
 		verbose  = flag.Bool("v", false, "print per-PE breakdown")
 		traceOut = flag.String("trace", "", "write a chunk-event trace of the last run to this CSV file")
-		replayIn = flag.String("replay", "", "replay per-task times extracted from this trace CSV (overrides -dist)")
+		replayIn = flag.String("replay", "", "replay per-task times extracted from this trace CSV (overrides -dist, disables -cache)")
+		specFile = flag.String("spec", "", "execute the JSON campaign spec in this file (grid flags are ignored)")
+		cacheDir = flag.String("cache", "", "content-addressed result cache directory; repeated campaigns are served without re-simulation")
+		outFile  = flag.String("out", "", `stream per-run metrics to this file: .jsonl/.json selects JSON Lines, anything else CSV ("-" = CSV to stdout)`)
 	)
 	flag.Parse()
 
-	var work workload.Workload
+	store := cliutil.OpenStore(*cacheDir)
+	sinks, closeOut := cliutil.OpenOut(*outFile)
+
+	if *specFile != "" {
+		cliutil.RunSpecFile(*specFile, *workers, store, sinks)
+		closeOut()
+		return
+	}
+
+	var ws []float64
+	if *weights != "" {
+		for _, f := range strings.Split(*weights, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				log.Fatalf("bad weight %q: %v", f, err)
+			}
+			ws = append(ws, v)
+		}
+	}
+
+	var (
+		work       workload.Workload
+		workSpec   workload.Spec
+		declarable = true
+	)
 	if *replayIn != "" {
+		// Replayed task times have no declarative description, so this
+		// path runs the campaign directly and bypasses the result cache.
+		declarable = false
 		f, err := os.Open(*replayIn)
 		if err != nil {
 			log.Fatal(err)
@@ -83,23 +122,14 @@ func main() {
 		}
 		work = explicit
 	} else {
-		spec := workload.Spec{Kind: *dist, P1: *p1, P2: *p2, P3: *p3, N: *n}
-		w, err := spec.Build()
+		workSpec = workload.Spec{Kind: *dist, P1: *p1, P2: *p2, P3: *p3}
+		built := workSpec
+		built.N = *n
+		w, err := built.Build()
 		if err != nil {
 			log.Fatal(err)
 		}
 		work = w
-	}
-
-	var ws []float64
-	if *weights != "" {
-		for _, f := range strings.Split(*weights, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				log.Fatalf("bad weight %q: %v", f, err)
-			}
-			ws = append(ws, v)
-		}
 	}
 
 	point := engine.RunSpec{
@@ -108,7 +138,7 @@ func main() {
 		MinChunk: *minChunk, Chunk: *chunk, First: *first, Last: *last,
 		Alpha: *alpha, Weights: ws,
 	}
-	seedFor := func(_, r int) uint64 { return rng.RunSeed(*seed, r) }
+	lastRunState := rng.RunSeed(*seed, *runs-1)
 
 	recorder := trace.NewRecorder()
 	if *traceOut != "" {
@@ -121,25 +151,49 @@ func main() {
 			log.Fatal(err)
 		}
 		spec := point
-		spec.RNGState = seedFor(0, *runs-1)
+		spec.RNGState = lastRunState
 		spec.Observe = recorder.Record
 		if _, err := be.Run(spec); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	res, err := engine.Campaign{
-		Backend:      *backend,
-		Points:       []engine.RunSpec{point},
-		Replications: *runs,
-		Workers:      *workers,
-		SeedFor:      seedFor,
-		KeepRuns:     *verbose, // only the -v per-PE table reads per-run results
-	}.Run()
-	if err != nil {
-		log.Fatal(err)
+	var agg engine.Aggregate
+	if declarable {
+		// The flag-driven single point compiles to a declarative campaign
+		// spec, which makes it hashable and therefore cacheable.
+		cspec := engine.CampaignSpec{
+			Backend:    *backend,
+			Techniques: []string{*tech},
+			Ns:         []int64{*n},
+			Ps:         []int{*p},
+			Workload:   workSpec,
+			H:          *h, HInDynamics: *hDyn, PerMessageCost: *msgCost,
+			MinChunk: *minChunk, Chunk: *chunk, First: *first, Last: *last,
+			Alpha: *alpha, Weights: ws,
+			Replications: *runs,
+			Seed:         *seed,
+			SeedPolicy:   engine.SeedFlat,
+		}
+		res, err := cspec.Execute(engine.ExecConfig{Workers: *workers, Cache: store, Sinks: sinks})
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg = res.Aggregates[0]
+	} else {
+		res, err := engine.Campaign{
+			Backend:      *backend,
+			Points:       []engine.RunSpec{point},
+			Replications: *runs,
+			Workers:      *workers,
+			SeedFor:      func(_, r int) uint64 { return rng.RunSeed(*seed, r) },
+		}.RunWith(sinks...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg = res.Aggregates[0]
 	}
-	agg := res.Aggregates[0]
+	closeOut()
 	seq := workload.Total(work, *n)
 
 	fmt.Printf("technique        %s\n", *tech)
@@ -170,7 +224,19 @@ func main() {
 	}
 
 	if *verbose {
-		lastRes := agg.Results[*runs-1]
+		// Re-execute the campaign's last run directly: runs are
+		// deterministic per (seed, run) so this reproduces exactly the
+		// run the aggregate saw, without retaining every result.
+		be, err := engine.New(*backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec := point
+		spec.RNGState = lastRunState
+		lastRes, err := be.Run(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Println("\nlast run, per PE:")
 		var tb ascii.Table
 		tb.AddRow("PE", "tasks", "ops", "compute_s", "idle_s")

@@ -10,10 +10,19 @@
 //	repro fig9                  Figure 9  (FAC per-run analysis)
 //	repro tables                Tables II and III
 //	repro csv -out DIR          raw data export (paper §V)
+//	repro spec -spec FILE       run a declarative JSON campaign spec
 //	repro all                   everything above
 //
 // The paper's full configuration uses 1000 runs per cell; pass -runs to
 // trade precision for speed (e.g. -runs 50 completes in seconds).
+//
+// Grid experiments (hagerup, fig9, extension, csv, spec) accept -cache
+// DIR: results are content-addressed by the canonical hash of the
+// campaign spec, so a repeated invocation is served from the store
+// without re-simulation. The hagerup, fig9 and spec subcommands accept
+// -out FILE to stream every run's metrics as CSV (or JSON Lines with a
+// .jsonl suffix) while the campaign executes; for the csv subcommand
+// -out names the output directory.
 package main
 
 import (
@@ -25,6 +34,8 @@ import (
 	"strings"
 
 	"repro/internal/ascii"
+	"repro/internal/cache"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiment"
@@ -43,12 +54,15 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		runs    = fs.Int("runs", 1000, "runs per grid cell (paper: 1000)")
-		seed    = fs.Uint64("seed", 20170601, "base seed (must differ from the reference seed)")
-		n       = fs.Int64("n", 1024, "task count for the hagerup subcommand")
-		out     = fs.String("out", "rawdata", "output directory for the csv subcommand")
-		msg     = fs.Bool("msg", false, "drive TSS experiments through the full MSG simulation")
-		backend = fs.String("backend", engine.DefaultBackend,
+		runs     = fs.Int("runs", 1000, "runs per grid cell (paper: 1000)")
+		seed     = fs.Uint64("seed", 20170601, "base seed (must differ from the reference seed)")
+		n        = fs.Int64("n", 1024, "task count for the hagerup subcommand")
+		out      = fs.String("out", "", `csv subcommand: output directory (default "rawdata"); hagerup/fig9/spec: stream per-run metrics to this file (.jsonl = JSON Lines, otherwise CSV)`)
+		msg      = fs.Bool("msg", false, "drive TSS experiments through the full MSG simulation")
+		specFile = fs.String("spec", "", "JSON campaign spec file for the spec subcommand")
+		cacheDir = fs.String("cache", "", "content-addressed result cache directory; repeated campaigns are served without re-simulation")
+		workers  = fs.Int("workers", 0, "concurrent runs (0 = all CPU cores); results are worker-count independent")
+		backend  = fs.String("backend", engine.DefaultBackend,
 			"simulation backend for grid experiments: "+strings.Join(engine.Names(), ", "))
 	)
 	fs.Parse(os.Args[2:])
@@ -57,31 +71,48 @@ func main() {
 		log.Fatal("seed equals the pinned reference seed; choose another (DESIGN.md §3.2)")
 	}
 
+	store := cliutil.OpenStore(*cacheDir)
+
 	switch cmd {
 	case "tss1":
 		runTzen(1, *msg)
 	case "tss2":
 		runTzen(2, *msg)
 	case "hagerup":
-		runHagerup(*n, *runs, *seed, false, *backend)
+		sinks, closeOut := cliutil.OpenOut(*out)
+		runHagerup(*n, *runs, *seed, false, *backend, *workers, store, sinks)
+		closeOut()
 	case "fig9":
-		runFig9(*runs, *seed, *backend)
+		sinks, closeOut := cliutil.OpenOut(*out)
+		runFig9(*runs, *seed, *backend, *workers, store, sinks)
+		closeOut()
 	case "tables":
 		printTables()
 	case "verify":
 		runVerify(*runs, *seed)
 	case "extension":
-		runExtension(*runs, *seed, *backend)
+		runExtension(*runs, *seed, *backend, *workers, store)
 	case "csv":
-		exportCSV(*out, *runs, *seed, *backend)
+		dir := *out
+		if dir == "" {
+			dir = "rawdata"
+		}
+		exportCSV(dir, *runs, *seed, *backend, *workers, store)
+	case "spec":
+		if *specFile == "" {
+			log.Fatal("spec: -spec FILE is required")
+		}
+		sinks, closeOut := cliutil.OpenOut(*out)
+		cliutil.RunSpecFile(*specFile, *workers, store, sinks)
+		closeOut()
 	case "all":
 		printTables()
 		runTzen(1, *msg)
 		runTzen(2, *msg)
 		for _, nn := range []int64{1024, 8192, 65536, 524288} {
-			runHagerup(nn, *runs, *seed, false, *backend)
+			runHagerup(nn, *runs, *seed, false, *backend, *workers, store, nil)
 		}
-		runFig9(*runs, *seed, *backend)
+		runFig9(*runs, *seed, *backend, *workers, store, nil)
 	default:
 		usage()
 		os.Exit(2)
@@ -89,7 +120,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: repro {tss1|tss2|hagerup|fig9|tables|verify|extension|csv|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: repro {tss1|tss2|hagerup|fig9|tables|verify|extension|csv|spec|all} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'repro <subcommand> -h' for flags")
 }
 
@@ -138,12 +169,14 @@ func runVerify(runs int, seed uint64) {
 // runExtension executes the paper's §VI future work: the TAP/WF/AWF*/AF
 // techniques on the Hagerup grid, plus the TSS publication's GSS(k) and
 // CSS(k) parameter sweeps.
-func runExtension(runs int, seed uint64, backend string) {
+func runExtension(runs int, seed uint64, backend string, workers int, store cache.Store) {
 	fmt.Println("\n=== Extension: future-work techniques (paper §VI) on the Hagerup grid ===")
 	spec := experiment.FutureWorkSpec(seed)
 	spec.Ns = []int64{8192}
 	spec.Runs = runs
 	spec.Backend = backend
+	spec.Workers = workers
+	spec.Cache = store
 	log.Printf("future-work grid: n=8192, %d runs per cell...", runs)
 	res, err := experiment.RunHagerup(spec)
 	if err != nil {
@@ -269,7 +302,7 @@ func tzenVerdict(exp int, res *experiment.TzenResult) string {
 
 // runHagerup reproduces one of Figures 5–8: panels (a) reference values,
 // (b) simulation values, (c) discrepancy, (d) relative discrepancy.
-func runHagerup(n int64, runs int, seed uint64, keepPerRun bool, backend string) *experiment.HagerupResult {
+func runHagerup(n int64, runs int, seed uint64, keepPerRun bool, backend string, workers int, store cache.Store, sinks []engine.Sink) *experiment.HagerupResult {
 	figure := map[int64]int{1024: 5, 8192: 6, 65536: 7, 524288: 8}[n]
 	if figure == 0 {
 		log.Fatalf("hagerup: n must be one of 1024, 8192, 65536, 524288 (Table III); got %d", n)
@@ -279,6 +312,9 @@ func runHagerup(n int64, runs int, seed uint64, keepPerRun bool, backend string)
 	spec.Runs = runs
 	spec.KeepPerRun = keepPerRun
 	spec.Backend = backend
+	spec.Workers = workers
+	spec.Cache = store
+	spec.Sinks = sinks
 	log.Printf("Figure %d: %d tasks, %d runs per cell...", figure, n, runs)
 	res, err := experiment.RunHagerup(spec)
 	if err != nil {
@@ -360,7 +396,7 @@ func printWastedTable(n int64, ps []int, value func(tech string, p int) float64)
 // runFig9 reproduces Figure 9: the average wasted time of each run of
 // FAC with 2 workers and 524,288 tasks, plus the outlier analysis of
 // §IV-B4.
-func runFig9(runs int, seed uint64, backend string) {
+func runFig9(runs int, seed uint64, backend string, workers int, store cache.Store, sinks []engine.Sink) {
 	log.Printf("Figure 9: FAC, 2 PEs, 524288 tasks, %d runs...", runs)
 	spec := experiment.HagerupGrid(seed)
 	spec.Techniques = []string{"FAC"}
@@ -369,6 +405,9 @@ func runFig9(runs int, seed uint64, backend string) {
 	spec.Runs = runs
 	spec.KeepPerRun = true
 	spec.Backend = backend
+	spec.Workers = workers
+	spec.Cache = store
+	spec.Sinks = sinks
 	res, err := experiment.RunHagerup(spec)
 	if err != nil {
 		log.Fatal(err)
@@ -442,7 +481,7 @@ func printTables() {
 }
 
 // exportCSV writes the raw data of all experiments (paper §V).
-func exportCSV(dir string, runs int, seed uint64, backend string) {
+func exportCSV(dir string, runs int, seed uint64, backend string, workers int, store cache.Store) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -462,6 +501,8 @@ func exportCSV(dir string, runs int, seed uint64, backend string) {
 	spec := experiment.HagerupGrid(seed)
 	spec.Runs = runs
 	spec.Backend = backend
+	spec.Workers = workers
+	spec.Cache = store
 	res, err := experiment.RunHagerup(spec)
 	if err != nil {
 		log.Fatal(err)
@@ -477,6 +518,8 @@ func exportCSV(dir string, runs int, seed uint64, backend string) {
 	f9.Runs = runs
 	f9.KeepPerRun = true
 	f9.Backend = backend
+	f9.Workers = workers
+	f9.Cache = store
 	r9, err := experiment.RunHagerup(f9)
 	if err != nil {
 		log.Fatal(err)

@@ -13,8 +13,14 @@
 //   - internal/sched — the 15 DLS chunk calculators (STAT, SS, CSS, FSC,
 //     GSS, TSS, FAC, FAC2, BOLD, TAP, WF, AWF, AWF-B, AWF-C, AF)
 //   - internal/engine — the unified simulation layer: pluggable Backend
-//     implementations behind a name registry, plus the parallel campaign
-//     runner every multi-run entry point fans out through
+//     implementations behind a name registry, the declarative
+//     CampaignSpec (a JSON-serializable, canonically hashable grid
+//     description every entry point compiles its campaigns to) and the
+//     streaming results pipeline, where a parallel worker pool emits
+//     per-run events to pluggable Sinks in deterministic order
+//   - internal/cache — the content-addressed result store behind
+//     repeated campaigns: results are keyed by the spec's canonical
+//     hash, and determinism makes equal hashes imply equal results
 //   - internal/sim — the Hagerup-replica master–worker simulator (the
 //     "sim" backend)
 //   - internal/des, internal/msg, internal/platform — the SimGrid-MSG
@@ -34,8 +40,10 @@
 // the same scenario through the full SimGrid-MSG process model instead
 // of the fast chunk-granularity simulator, and Backends() lists the
 // registered names. Multi-run entry points (MeanWastedTime, Compare)
-// execute their replications concurrently through the engine's campaign
-// runner; results are bit-identical to a serial loop for a given seed.
+// execute their replications concurrently through the engine's streaming
+// campaign pipeline; results are bit-identical to a serial loop for a
+// given seed, and WithCache(dir) serves repeated campaigns from the
+// content-addressed result store without re-simulation.
 //
 // The benchmark harness regenerating every figure of the paper lives in
 // bench_test.go and cmd/repro; see DESIGN.md and EXPERIMENTS.md.

@@ -1,0 +1,191 @@
+// Package cache implements the content-addressed result store behind
+// repeated campaigns. Keys are canonical hashes of a declarative
+// campaign spec (engine.CampaignSpec.Hash); because campaign results are
+// bit-deterministic for a given spec, equal keys imply equal results and
+// a hit can be served without re-simulation.
+//
+// Two layers are provided — a process-local Memory store and an on-disk
+// Disk store with atomic writes — plus a Tiered combinator that
+// read-through-fills faster layers from slower ones. All stores are safe
+// for concurrent use.
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a content-addressed blob store. Get reports a miss with
+// ok == false and no error; errors are reserved for real failures
+// (I/O, invalid keys).
+type Store interface {
+	// Get returns the blob stored under key, if any.
+	Get(key string) (data []byte, ok bool, err error)
+	// Put stores the blob under key, overwriting any previous value.
+	Put(key string, data []byte) error
+}
+
+// validKey reports whether key is usable as a content address across all
+// layers: non-empty hex-like names that cannot escape a directory.
+func validKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("cache: empty key")
+	}
+	for _, c := range key {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return fmt.Errorf("cache: key %q is not a hex digest", key)
+		}
+	}
+	return nil
+}
+
+// Memory is an in-process store.
+type Memory struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory { return &Memory{m: make(map[string][]byte)} }
+
+// Get implements Store.
+func (s *Memory) Get(key string) ([]byte, bool, error) {
+	if err := validKey(key); err != nil {
+		return nil, false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.m[key]
+	if !ok {
+		return nil, false, nil
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, true, nil
+}
+
+// Put implements Store. The blob is copied; callers may reuse data.
+func (s *Memory) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.m[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of stored blobs.
+func (s *Memory) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Disk is an on-disk store: one file per key under a root directory.
+// Writes go through a temporary file and rename, so readers never
+// observe partial blobs and concurrent writers of the same key are safe.
+type Disk struct {
+	dir string
+}
+
+// NewDisk returns a disk store rooted at dir, creating it if needed.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Disk) Dir() string { return s.dir }
+
+func (s *Disk) path(key string) string { return filepath.Join(s.dir, key+".json") }
+
+// Get implements Store.
+func (s *Disk) Get(key string) ([]byte, bool, error) {
+	if err := validKey(key); err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("cache: %w", err)
+	}
+	return data, true, nil
+}
+
+// Put implements Store.
+func (s *Disk) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Tiered layers stores fastest-first: Get consults each layer in order
+// and back-fills every faster layer on a hit; Put writes through to all
+// layers. Layer errors on Get are treated as misses for that layer so a
+// corrupt fast layer cannot mask a healthy slow one.
+type Tiered struct {
+	layers []Store
+}
+
+// NewTiered combines the given layers, fastest first.
+func NewTiered(layers ...Store) *Tiered { return &Tiered{layers: layers} }
+
+// Get implements Store.
+func (s *Tiered) Get(key string) ([]byte, bool, error) {
+	if err := validKey(key); err != nil {
+		return nil, false, err
+	}
+	for i, layer := range s.layers {
+		data, ok, err := layer.Get(key)
+		if err != nil || !ok {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			// Best effort: a failed back-fill only costs future speed.
+			_ = s.layers[j].Put(key, data)
+		}
+		return data, true, nil
+	}
+	return nil, false, nil
+}
+
+// Put implements Store. The first layer error is returned, but all
+// layers are attempted.
+func (s *Tiered) Put(key string, data []byte) error {
+	var firstErr error
+	for _, layer := range s.layers {
+		if err := layer.Put(key, data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

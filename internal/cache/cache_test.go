@@ -1,0 +1,225 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const key = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func TestMemoryPutGet(t *testing.T) {
+	s := NewMemory()
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("empty store Get = ok=%v err=%v", ok, err)
+	}
+	if err := s.Put(key, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := s.Get(key)
+	if err != nil || !ok || string(data) != "hello" {
+		t.Fatalf("Get = %q ok=%v err=%v", data, ok, err)
+	}
+	if err := s.Put(key, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _, _ := s.Get(key); string(data) != "world" {
+		t.Fatalf("overwrite lost: %q", data)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+// TestMemoryIsolatesCallers: blobs must be copied on both Put and Get so
+// neither side can mutate stored state.
+func TestMemoryIsolatesCallers(t *testing.T) {
+	s := NewMemory()
+	in := []byte("abc")
+	if err := s.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	in[0] = 'X'
+	out, _, _ := s.Get(key)
+	if string(out) != "abc" {
+		t.Fatalf("Put did not copy: %q", out)
+	}
+	out[0] = 'Y'
+	again, _, _ := s.Get(key)
+	if string(again) != "abc" {
+		t.Fatalf("Get did not copy: %q", again)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	stores := map[string]Store{"memory": NewMemory(), "tiered": NewTiered(NewMemory())}
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["disk"] = disk
+	for name, s := range stores {
+		for _, bad := range []string{"", "xyz", "../escape", "a/b", "ABC-DEF"} {
+			if err := s.Put(bad, []byte("x")); err == nil {
+				t.Errorf("%s: Put accepted key %q", name, bad)
+			}
+			if _, _, err := s.Get(bad); err == nil {
+				t.Errorf("%s: Get accepted key %q", name, bad)
+			}
+		}
+	}
+}
+
+func TestDiskPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(key, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := s2.Get(key)
+	if err != nil || !ok || string(data) != "durable" {
+		t.Fatalf("reopened Get = %q ok=%v err=%v", data, ok, err)
+	}
+	if s2.Dir() != dir {
+		t.Fatalf("Dir = %q", s2.Dir())
+	}
+}
+
+// TestDiskLeavesNoTempFiles: the write-then-rename protocol must not
+// leave temporaries behind on success.
+func TestDiskLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(key, bytes.Repeat([]byte{'a'}, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != key+".json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory contents: %v", names)
+	}
+}
+
+// TestDiskIgnoresPartialForeignFiles: a missing blob is a miss, and an
+// unrelated file in the directory does not disturb the store.
+func TestDiskMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a blob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("miss = ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDiskConcurrentSameKey(t *testing.T) {
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Put(key, []byte(strings.Repeat("v", 100))); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	data, ok, err := s.Get(key)
+	if err != nil || !ok || len(data) != 100 {
+		t.Fatalf("Get after concurrent Put = %d bytes ok=%v err=%v", len(data), ok, err)
+	}
+}
+
+func TestTieredBackfill(t *testing.T) {
+	fast, slow := NewMemory(), NewMemory()
+	tiered := NewTiered(fast, slow)
+
+	if err := slow.Put(key, []byte("cold")); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Len() != 0 {
+		t.Fatal("fast layer pre-populated")
+	}
+	data, ok, err := tiered.Get(key)
+	if err != nil || !ok || string(data) != "cold" {
+		t.Fatalf("tiered Get = %q ok=%v err=%v", data, ok, err)
+	}
+	// The hit must have back-filled the fast layer.
+	if got, ok, _ := fast.Get(key); !ok || string(got) != "cold" {
+		t.Fatalf("fast layer not back-filled: %q ok=%v", got, ok)
+	}
+}
+
+func TestTieredPutWritesThrough(t *testing.T) {
+	fast, slow := NewMemory(), NewMemory()
+	if err := NewTiered(fast, slow).Put(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for name, layer := range map[string]*Memory{"fast": fast, "slow": slow} {
+		if _, ok, _ := layer.Get(key); !ok {
+			t.Errorf("%s layer missing after write-through Put", name)
+		}
+	}
+}
+
+// failingStore errors on every operation — the corrupt-fast-layer case.
+type failingStore struct{}
+
+func (failingStore) Get(string) ([]byte, bool, error) { return nil, false, fmt.Errorf("broken") }
+func (failingStore) Put(string, []byte) error         { return fmt.Errorf("broken") }
+
+func TestTieredFailingLayerIsMiss(t *testing.T) {
+	healthy := NewMemory()
+	if err := healthy.Put(key, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(failingStore{}, healthy)
+	data, ok, err := tiered.Get(key)
+	if err != nil || !ok || string(data) != "ok" {
+		t.Fatalf("Get through broken layer = %q ok=%v err=%v", data, ok, err)
+	}
+	// Put reports the layer error but still writes the healthy layers.
+	other := "fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210"
+	if err := tiered.Put(other, []byte("x")); err == nil {
+		t.Fatal("failing layer error not reported")
+	}
+	if _, ok, _ := healthy.Get(other); !ok {
+		t.Fatal("healthy layer skipped after failing layer")
+	}
+}
+
+func TestTieredEmptyIsAlwaysMiss(t *testing.T) {
+	if _, ok, err := NewTiered().Get(key); err != nil || ok {
+		t.Fatalf("empty tiered Get = ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package cliutil holds the flag-handling helpers the dlsim and repro
+// commands share: opening the content-addressed result cache, building
+// streaming per-run sinks for -out, and executing a declarative campaign
+// spec file. Functions exit through log.Fatal on error, as CLI setup
+// code does; the package is for main packages only.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/ascii"
+	"repro/internal/cache"
+	"repro/internal/engine"
+)
+
+// OpenStore opens the on-disk result cache rooted at dir, or returns nil
+// when no cache was requested.
+func OpenStore(dir string) cache.Store {
+	if dir == "" {
+		return nil
+	}
+	disk, err := cache.NewDisk(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return disk
+}
+
+// OpenOut builds the streaming per-run sink for an -out flag: a CSV sink
+// by default, JSON Lines for a .jsonl/.json suffix, stdout for "-". The
+// returned close function flushes and closes the underlying file; it is
+// safe to call when no sink was requested.
+func OpenOut(path string) ([]engine.Sink, func()) {
+	if path == "" {
+		return nil, func() {}
+	}
+	var (
+		w io.Writer = os.Stdout
+		f *os.File
+	)
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w = f
+	}
+	var sink engine.Sink
+	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".json") {
+		sink = engine.NewJSONLSink(w)
+	} else {
+		sink = engine.NewCSVSink(w)
+	}
+	return []engine.Sink{sink}, func() {
+		if f == nil {
+			return
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote per-run metrics to %s", path)
+	}
+}
+
+// RunSpecFile executes the declarative campaign spec in the given JSON
+// file and prints one aggregate row per grid point.
+func RunSpecFile(path string, workers int, store cache.Store, sinks []engine.Sink) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := engine.ParseSpec(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := spec.Execute(engine.ExecConfig{Workers: workers, Cache: store, Sinks: sinks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign %s: %d points × %d replications (backend %s)\n\n",
+		hash[:12], len(res.Aggregates), spec.Replications, spec.Normalize().Backend)
+	var tb ascii.Table
+	tb.AddRow("technique", "n", "p", "mean_wasted_s", "std_wasted_s", "mean_makespan_s", "mean_speedup", "mean_ops")
+	for _, agg := range res.Aggregates {
+		tb.AddRowf(agg.Spec.Technique, agg.Spec.N, agg.Spec.P,
+			agg.Wasted.Mean, agg.Wasted.Std, agg.Makespan.Mean, agg.Speedup.Mean, agg.MeanOps)
+	}
+	os.Stdout.WriteString(tb.String())
+	// Campaign-level roll-up from the streaming accumulator merge.
+	o := res.Overall
+	fmt.Printf("\noverall wasted time across %d runs: mean %.6g s, std %.6g s, range [%.6g, %.6g] s\n",
+		o.N(), o.Mean(), o.Std(), o.Min(), o.Max())
+}

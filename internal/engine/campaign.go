@@ -1,13 +1,7 @@
 package engine
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/metrics"
-	"repro/internal/rng"
 	"repro/internal/workload"
 )
 
@@ -47,11 +41,13 @@ type Campaign struct {
 }
 
 // RunMetrics are the per-run scalars the campaigns of the paper report.
+// The JSON encoding is the cache's persistent per-run format; floats
+// round-trip bit-exactly (shortest-form encoding).
 type RunMetrics struct {
-	Wasted   float64 // average wasted time (paper §III-B), H charged per op
-	Makespan float64
-	Speedup  float64 // sequential time over makespan
-	SchedOps int64
+	Wasted   float64 `json:"wasted"` // average wasted time (paper §III-B), H charged per op
+	Makespan float64 `json:"makespan"`
+	Speedup  float64 `json:"speedup"` // sequential time over makespan
+	SchedOps int64   `json:"sched_ops"`
 }
 
 // Aggregate summarizes all replications of one campaign point.
@@ -71,122 +67,30 @@ type Aggregate struct {
 // Campaign.Points.
 type CampaignResult struct {
 	Aggregates []Aggregate
+
+	// Overall is the deterministic roll-up of the per-point wasted-time
+	// accumulators, merged in point order.
+	Overall metrics.Accumulator
 }
 
-// Run executes the campaign. The first run error aborts the remaining
-// grid and is returned.
+// Run executes the campaign and aggregates every point. It is a buffered
+// view over Stream: an aggregating sink consumes the ordered event
+// stream, so the aggregates are bit-identical to what any other sink
+// arrangement observes. The first run error aborts the remaining grid
+// and is returned.
 func (c Campaign) Run() (*CampaignResult, error) {
-	if len(c.Points) == 0 {
-		return nil, fmt.Errorf("engine: campaign has no points")
-	}
-	if c.Replications <= 0 {
-		return nil, fmt.Errorf("engine: Replications must be positive, got %d", c.Replications)
-	}
-	be, err := New(c.Backend)
-	if err != nil {
+	return c.RunWith()
+}
+
+// RunWith executes the campaign like Run while additionally streaming
+// every run event to the given sinks (e.g. a CSV writer exporting raw
+// per-run data alongside the aggregation).
+func (c Campaign) RunWith(sinks ...Sink) (*CampaignResult, error) {
+	agg := newAggregateSink(c.Points, c.Replications, c.KeepRuns, c.KeepRuns)
+	if err := c.Stream(append([]Sink{agg}, sinks...)...); err != nil {
 		return nil, err
 	}
-	for i, pt := range c.Points {
-		if err := pt.Validate(); err != nil {
-			return nil, fmt.Errorf("engine: campaign point %d: %w", i, err)
-		}
-	}
-	seedFor := c.SeedFor
-	if seedFor == nil {
-		seedFor = func(point, rep int) uint64 {
-			return rng.RunSeed(c.Points[point].RNGState, rep)
-		}
-	}
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	reps := c.Replications
-	total := len(c.Points) * reps
-	if workers > total {
-		workers = total
-	}
-
-	perRun := make([][]RunMetrics, len(c.Points))
-	var results [][]*RunResult
-	if c.KeepRuns {
-		results = make([][]*RunResult, len(c.Points))
-	}
-	for i := range c.Points {
-		perRun[i] = make([]RunMetrics, reps)
-		if c.KeepRuns {
-			results[i] = make([]*RunResult, reps)
-		}
-	}
-
-	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		errMu    sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		failed.Store(true)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				j := next.Add(1) - 1
-				if j >= int64(total) || failed.Load() {
-					return
-				}
-				pi, rep := int(j)/reps, int(j)%reps
-				spec := c.Points[pi]
-				spec.RNGState = seedFor(pi, rep)
-				res, err := be.Run(spec)
-				if err != nil {
-					fail(fmt.Errorf("engine: point %d replication %d: %w", pi, rep, err))
-					return
-				}
-				perRun[pi][rep] = pointMetrics(spec, res)
-				if c.KeepRuns {
-					results[pi][rep] = res
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	out := &CampaignResult{Aggregates: make([]Aggregate, len(c.Points))}
-	for pi := range c.Points {
-		agg := Aggregate{Spec: c.Points[pi]}
-		wasted := make([]float64, reps)
-		makespans := make([]float64, reps)
-		speedups := make([]float64, reps)
-		var opsSum int64
-		for rep, m := range perRun[pi] {
-			wasted[rep] = m.Wasted
-			makespans[rep] = m.Makespan
-			speedups[rep] = m.Speedup
-			opsSum += m.SchedOps
-		}
-		agg.Wasted = metrics.Summarize(wasted)
-		agg.Makespan = metrics.Summarize(makespans)
-		agg.Speedup = metrics.Summarize(speedups)
-		agg.MeanOps = float64(opsSum) / float64(reps)
-		if c.KeepRuns {
-			agg.PerRun = perRun[pi]
-			agg.Results = results[pi]
-		}
-		out.Aggregates[pi] = agg
-	}
-	return out, nil
+	return &CampaignResult{Aggregates: agg.Aggregates(), Overall: agg.Overall()}, nil
 }
 
 // pointMetrics reduces one run result to the campaign's per-run scalars.

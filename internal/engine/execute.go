@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// ExecConfig carries the execution parameters of a CampaignSpec run —
+// everything that may change how fast results arrive but never what
+// they are. None of it participates in the spec hash.
+type ExecConfig struct {
+	// Workers bounds concurrently executing runs; 0 selects GOMAXPROCS.
+	Workers int
+
+	// KeepPerRun retains the per-run metrics in each Aggregate (the
+	// paper's Figure 9 analysis needs them).
+	KeepPerRun bool
+
+	// Cache, when non-nil, is consulted under the spec's hash before
+	// simulating and filled after. A hit replays the stored per-run
+	// metrics through the sinks and aggregation, performing zero backend
+	// runs; by determinism the replayed aggregates are bit-identical to
+	// a live execution. Cache writes are best effort: a failed Put never
+	// fails the campaign.
+	Cache cache.Store
+
+	// Sinks observe the ordered per-run event stream (live or replayed).
+	Sinks []Sink
+}
+
+// cachedCampaign is the persistent result format: the spec hash it was
+// produced under plus every run's metrics in (point, replication) order.
+// That is sufficient to reconstruct aggregates bit-identically and to
+// replay the event stream; full RunResults (per-worker slices) are
+// deliberately not persisted.
+type cachedCampaign struct {
+	Version      int            `json:"version"`
+	Hash         string         `json:"hash"`
+	Points       int            `json:"points"`
+	Replications int            `json:"replications"`
+	PerRun       [][]RunMetrics `json:"per_run"` // [point][rep]
+}
+
+const cacheFormatVersion = 1
+
+// Execute runs the campaign described by the spec, streaming per-run
+// events to cfg.Sinks and returning the per-point aggregates. With a
+// cache configured, a repeated spec (same hash) is served entirely from
+// the cache.
+func (s CampaignSpec) Execute(cfg ExecConfig) (*CampaignResult, error) {
+	// Returns before Stream or replay run must still close cfg.Sinks —
+	// the Sink contract is one Close call on every path.
+	closeSinks := func(first error) error {
+		for _, sk := range cfg.Sinks {
+			if err := sk.Close(); err != nil && first == nil {
+				first = fmt.Errorf("engine: sink close: %w", err)
+			}
+		}
+		return first
+	}
+	points, err := s.Points()
+	if err != nil {
+		return nil, closeSinks(err)
+	}
+
+	var key string
+	if cfg.Cache != nil {
+		key, err = s.Hash()
+		if err != nil {
+			return nil, closeSinks(err)
+		}
+		if data, ok, err := cfg.Cache.Get(key); err != nil {
+			return nil, closeSinks(err)
+		} else if ok {
+			if cc, ok := decodeCached(data, key, len(points), s.Replications); ok {
+				return s.replay(points, cc, cfg)
+			}
+			// Undecodable or mismatched entry: fall through to a live
+			// run, which overwrites it.
+		}
+	}
+
+	// The campaign reuses the expansion above instead of Compile, which
+	// would expand and validate the grid a second time.
+	c := Campaign{
+		Backend:      s.Backend,
+		Points:       points,
+		Replications: s.Replications,
+		Workers:      cfg.Workers,
+		SeedFor:      s.seedFunc(points),
+	}
+	// Per-run metrics are always folded by the aggregating sink; they
+	// are needed for the median, the optional PerRun export and the
+	// cache entry.
+	agg := newAggregateSink(points, s.Replications, cfg.KeepPerRun, false)
+	if err := c.Stream(append([]Sink{agg}, cfg.Sinks...)...); err != nil {
+		return nil, err
+	}
+	if cfg.Cache != nil {
+		if data, err := json.Marshal(cachedCampaign{
+			Version:      cacheFormatVersion,
+			Hash:         key,
+			Points:       len(points),
+			Replications: s.Replications,
+			PerRun:       agg.perRun,
+		}); err == nil {
+			_ = cfg.Cache.Put(key, data) // best effort
+		}
+	}
+	return &CampaignResult{Aggregates: agg.Aggregates(), Overall: agg.Overall()}, nil
+}
+
+// decodeCached decodes and checks a cache entry against the spec it is
+// supposed to answer. A mismatch (format drift, truncation, stale hash)
+// reports ok == false, demoting the hit to a miss.
+func decodeCached(data []byte, key string, points, reps int) (cachedCampaign, bool) {
+	var cc cachedCampaign
+	if err := json.Unmarshal(data, &cc); err != nil {
+		return cachedCampaign{}, false
+	}
+	if cc.Version != cacheFormatVersion || cc.Hash != key ||
+		cc.Points != points || cc.Replications != reps || len(cc.PerRun) != points {
+		return cachedCampaign{}, false
+	}
+	for _, runs := range cc.PerRun {
+		if len(runs) != reps {
+			return cachedCampaign{}, false
+		}
+	}
+	return cc, true
+}
+
+// replay reconstructs the campaign result from a validated cache entry,
+// feeding the stored per-run metrics through the sinks and the
+// aggregation in the same (point, replication) order a live execution
+// would — zero backend runs. A sink error aborts the replay and is
+// returned, mirroring Stream.
+func (s CampaignSpec) replay(points []RunSpec, cc cachedCampaign, cfg ExecConfig) (*CampaignResult, error) {
+	seedFor := s.seedFunc(points)
+	agg := newAggregateSink(points, s.Replications, cfg.KeepPerRun, false)
+	sinks := append([]Sink{agg}, cfg.Sinks...)
+	var sinkErr error
+feed:
+	for pi := range points {
+		for rep := 0; rep < s.Replications; rep++ {
+			spec := points[pi]
+			spec.RNGState = seedFor(pi, rep)
+			ev := Event{Point: pi, Rep: rep, Spec: spec, Metrics: cc.PerRun[pi][rep]}
+			for _, sk := range sinks {
+				if err := sk.Consume(ev); err != nil {
+					sinkErr = fmt.Errorf("engine: sink: %w", err)
+					break feed
+				}
+			}
+		}
+	}
+	for _, sk := range sinks {
+		if err := sk.Close(); err != nil && sinkErr == nil {
+			sinkErr = fmt.Errorf("engine: sink close: %w", err)
+		}
+	}
+	if sinkErr != nil {
+		return nil, sinkErr
+	}
+	return &CampaignResult{Aggregates: agg.Aggregates(), Overall: agg.Overall()}, nil
+}

@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// Event is one completed run flowing through the results pipeline.
+// Events are delivered to sinks in deterministic global order — point 0
+// replication 0, point 0 replication 1, … — regardless of worker count
+// or completion order, so any sink output is bit-reproducible.
+type Event struct {
+	Point int // index into Campaign.Points
+	Rep   int // replication index within the point
+
+	// Spec is the run's spec as executed, with the derived RNGState.
+	Spec RunSpec
+
+	// Metrics are the per-run scalars every campaign reports.
+	Metrics RunMetrics
+
+	// Result is the full backend result. It is non-nil only when the
+	// campaign retains results (Campaign.KeepRuns); cache replays and
+	// lean streaming runs deliver metrics-only events.
+	Result *RunResult
+}
+
+// Sink consumes the ordered stream of run events. The pipeline invokes
+// Consume from a single goroutine, so implementations need no locking.
+// A Consume error aborts the campaign. Close flushes the sink after the
+// final event (or after an abort) and is called exactly once.
+type Sink interface {
+	Consume(Event) error
+	Close() error
+}
+
+// Stream executes the campaign, emitting every completed run to the
+// given sinks instead of materializing results. This is the primitive
+// Run is built on: the worker pool completes runs in arbitrary order, a
+// reorder stage restores deterministic (point, replication) order, and
+// sinks observe the exact event sequence a serial execution would
+// produce. All sinks are closed before Stream returns; the first run or
+// sink error aborts the remaining grid and is returned.
+func (c Campaign) Stream(sinks ...Sink) error {
+	// closeAll flushes every sink exactly once, on success and on every
+	// error path alike, preserving the first error.
+	closeAll := func(first error) error {
+		for _, s := range sinks {
+			if err := s.Close(); err != nil && first == nil {
+				first = fmt.Errorf("engine: sink close: %w", err)
+			}
+		}
+		return first
+	}
+	if len(c.Points) == 0 {
+		return closeAll(fmt.Errorf("engine: campaign has no points"))
+	}
+	if c.Replications <= 0 {
+		return closeAll(fmt.Errorf("engine: Replications must be positive, got %d", c.Replications))
+	}
+	be, err := New(c.Backend)
+	if err != nil {
+		return closeAll(err)
+	}
+	for i, pt := range c.Points {
+		if err := pt.Validate(); err != nil {
+			return closeAll(fmt.Errorf("engine: campaign point %d: %w", i, err))
+		}
+	}
+	seedFor := c.SeedFor
+	if seedFor == nil {
+		seedFor = func(point, rep int) uint64 {
+			return rng.RunSeed(c.Points[point].RNGState, rep)
+		}
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reps := c.Replications
+	total := len(c.Points) * reps
+	if workers > total {
+		workers = total
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+
+		// nextOut is the next event index the reorder stage dispatches.
+		// Workers wait before executing runs more than window indices
+		// ahead of it, which bounds the reorder buffer under arbitrary
+		// run-duration skew (one pathologically slow run cannot make the
+		// buffer absorb the whole remaining grid).
+		outMu   sync.Mutex
+		outCond = sync.NewCond(&outMu)
+		nextOut int64
+	)
+	window := int64(4 * workers)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+		outMu.Lock()
+		outCond.Broadcast() // release workers waiting on the window
+		outMu.Unlock()
+	}
+
+	events := make(chan Event, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := next.Add(1) - 1
+				if j >= int64(total) || failed.Load() {
+					return
+				}
+				outMu.Lock()
+				for j >= nextOut+window && !failed.Load() {
+					outCond.Wait()
+				}
+				outMu.Unlock()
+				if failed.Load() {
+					return
+				}
+				pi, rep := int(j)/reps, int(j)%reps
+				spec := c.Points[pi]
+				spec.RNGState = seedFor(pi, rep)
+				res, err := be.Run(spec)
+				if err != nil {
+					fail(fmt.Errorf("engine: point %d replication %d: %w", pi, rep, err))
+					return
+				}
+				ev := Event{Point: pi, Rep: rep, Spec: spec, Metrics: pointMetrics(spec, res)}
+				if c.KeepRuns {
+					ev.Result = res
+				}
+				events <- ev
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(events)
+	}()
+
+	// Reorder completed runs into global (point, replication) order and
+	// dispatch. The pending buffer holds events completed ahead of the
+	// oldest still-running run; the worker-side window bounds it to
+	// window + len(events) entries.
+	pending := make(map[int64]Event, workers)
+	for ev := range events {
+		pending[int64(ev.Point)*int64(reps)+int64(ev.Rep)] = ev
+		for {
+			out, ok := pending[nextOut]
+			if !ok {
+				break
+			}
+			delete(pending, nextOut)
+			outMu.Lock()
+			nextOut++
+			outCond.Broadcast()
+			outMu.Unlock()
+			if failed.Load() {
+				continue // drain without dispatching after an abort
+			}
+			for _, s := range sinks {
+				if err := s.Consume(out); err != nil {
+					fail(fmt.Errorf("engine: sink: %w", err))
+					break
+				}
+			}
+		}
+	}
+	// All workers and the consumer loop are done; no concurrent fail().
+	errMu.Lock()
+	err = firstErr
+	errMu.Unlock()
+	return closeAll(err)
+}
+
+// aggregateSink folds the event stream into per-point Aggregates — the
+// one aggregation implementation behind Campaign.Run, CampaignSpec
+// execution and cache replay. Events arrive in replication order, so the
+// per-run scalars (32 bytes per run, not full RunResults) buffer in the
+// exact sequence a serial execution produces; summarizing them yields
+// aggregates bit-identical to the historical buffered path. The online
+// wasted-time accumulators feed the campaign's streaming Overall
+// roll-up.
+type aggregateSink struct {
+	points      []RunSpec
+	reps        int
+	keepPerRun  bool // expose per-run metrics in the Aggregates
+	keepResults bool // expose full results in the Aggregates
+
+	wasted  []metrics.Accumulator
+	ops     []int64
+	perRun  [][]RunMetrics
+	results [][]*RunResult
+}
+
+func newAggregateSink(points []RunSpec, reps int, keepPerRun, keepResults bool) *aggregateSink {
+	if reps < 0 {
+		reps = 0 // Stream rejects the campaign before any event flows
+	}
+	s := &aggregateSink{
+		points:      points,
+		reps:        reps,
+		keepPerRun:  keepPerRun,
+		keepResults: keepResults,
+		wasted:      make([]metrics.Accumulator, len(points)),
+		ops:         make([]int64, len(points)),
+		perRun:      make([][]RunMetrics, len(points)),
+	}
+	for i := range points {
+		s.perRun[i] = make([]RunMetrics, 0, reps)
+	}
+	if keepResults {
+		s.results = make([][]*RunResult, len(points))
+		for i := range points {
+			s.results[i] = make([]*RunResult, 0, reps)
+		}
+	}
+	return s
+}
+
+func (s *aggregateSink) Consume(ev Event) error {
+	pi := ev.Point
+	if pi < 0 || pi >= len(s.points) {
+		return fmt.Errorf("engine: aggregate sink: point %d out of range", pi)
+	}
+	if ev.Rep != len(s.perRun[pi]) {
+		return fmt.Errorf("engine: aggregate sink: point %d got replication %d, want %d (events out of order)",
+			pi, ev.Rep, len(s.perRun[pi]))
+	}
+	m := ev.Metrics
+	s.wasted[pi].Add(m.Wasted)
+	s.ops[pi] += m.SchedOps
+	s.perRun[pi] = append(s.perRun[pi], m)
+	if s.keepResults {
+		s.results[pi] = append(s.results[pi], ev.Result)
+	}
+	return nil
+}
+
+func (s *aggregateSink) Close() error {
+	for pi := range s.points {
+		if got := len(s.perRun[pi]); got != s.reps {
+			return fmt.Errorf("engine: aggregate sink: point %d saw %d of %d replications", pi, got, s.reps)
+		}
+	}
+	return nil
+}
+
+// Aggregates assembles the final per-point aggregates by summarizing the
+// retained per-run scalars in replication order — bit-identical to the
+// historical buffered path for every statistic, including the two-pass
+// standard deviation and the median.
+func (s *aggregateSink) Aggregates() []Aggregate {
+	out := make([]Aggregate, len(s.points))
+	vals := make([]float64, s.reps)
+	summarize := func(runs []RunMetrics, get func(RunMetrics) float64) metrics.Summary {
+		for i, m := range runs {
+			vals[i] = get(m)
+		}
+		return metrics.Summarize(vals)
+	}
+	for pi := range s.points {
+		runs := s.perRun[pi]
+		agg := Aggregate{
+			Spec:     s.points[pi],
+			Wasted:   summarize(runs, func(m RunMetrics) float64 { return m.Wasted }),
+			Makespan: summarize(runs, func(m RunMetrics) float64 { return m.Makespan }),
+			Speedup:  summarize(runs, func(m RunMetrics) float64 { return m.Speedup }),
+			MeanOps:  float64(s.ops[pi]) / float64(s.reps),
+		}
+		if s.keepPerRun {
+			agg.PerRun = runs
+		}
+		if s.keepResults {
+			agg.Results = s.results[pi]
+		}
+		out[pi] = agg
+	}
+	return out
+}
+
+// Overall merges the per-point wasted-time accumulators in point order —
+// a deterministic cross-partition roll-up of the whole campaign.
+func (s *aggregateSink) Overall() metrics.Accumulator {
+	var a metrics.Accumulator
+	for pi := range s.points {
+		a.Merge(s.wasted[pi])
+	}
+	return a
+}

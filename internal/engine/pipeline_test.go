@@ -1,0 +1,350 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// countingBackend delegates to the sim backend while counting Run calls —
+// the instrument behind the cache acceptance test: a repeated campaign
+// served from the cache must perform zero backend runs.
+type countingBackend struct {
+	calls atomic.Int64
+}
+
+func (b *countingBackend) Name() string { return "counting" }
+
+func (b *countingBackend) Run(spec RunSpec) (*RunResult, error) {
+	b.calls.Add(1)
+	be, err := New("sim")
+	if err != nil {
+		return nil, err
+	}
+	return be.Run(spec)
+}
+
+var counting = &countingBackend{}
+
+func init() { Register(counting) }
+
+func countingSpec() CampaignSpec {
+	return CampaignSpec{
+		Backend:      "counting",
+		Techniques:   []string{"FAC2", "SS"},
+		Ns:           []int64{256},
+		Ps:           []int{2, 4},
+		Workload:     workload.Spec{Kind: "exponential", P1: 1},
+		H:            0.5,
+		Replications: 4,
+		Seed:         99,
+	}
+}
+
+// TestStreamingBitIdenticalToBufferedPath is the pipeline's core
+// guarantee: aggregates assembled from the streaming event order are
+// bit-identical to buffering every per-run value and summarizing the
+// slice (the pre-pipeline path), for a fixed seed and any worker count.
+func TestStreamingBitIdenticalToBufferedPath(t *testing.T) {
+	spec := testSpec()
+	points, err := spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Buffered reference: collect every run's metrics serially in
+	// replication order, then summarize the slices.
+	be, err := New("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedFor := spec.seedFunc(points)
+	wasted := make([][]float64, len(points))
+	makespan := make([][]float64, len(points))
+	for pi, pt := range points {
+		for rep := 0; rep < spec.Replications; rep++ {
+			run := pt
+			run.RNGState = seedFor(pi, rep)
+			res, err := be.Run(run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := pointMetrics(run, res)
+			wasted[pi] = append(wasted[pi], m.Wasted)
+			makespan[pi] = append(makespan[pi], m.Makespan)
+		}
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		res, err := spec.Execute(ExecConfig{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi := range points {
+			if got, want := res.Aggregates[pi].Wasted, metrics.Summarize(wasted[pi]); got != want {
+				t.Fatalf("workers=%d point %d: streaming wasted %+v != buffered %+v", workers, pi, got, want)
+			}
+			if got, want := res.Aggregates[pi].Makespan, metrics.Summarize(makespan[pi]); got != want {
+				t.Fatalf("workers=%d point %d: streaming makespan %+v != buffered %+v", workers, pi, got, want)
+			}
+		}
+	}
+}
+
+// TestCacheServesRepeatWithZeroBackendRuns is the cache acceptance
+// criterion: a repeated campaign with the same spec performs zero backend
+// Run calls and returns bit-identical aggregates.
+func TestCacheServesRepeatWithZeroBackendRuns(t *testing.T) {
+	spec := countingSpec()
+	store := cache.NewMemory()
+
+	before := counting.calls.Load()
+	first, err := spec.Execute(ExecConfig{Cache: store, KeepPerRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRuns := counting.calls.Load() - before
+	wantRuns := int64(len(spec.Techniques) * len(spec.Ps) * spec.Replications)
+	if liveRuns != wantRuns {
+		t.Fatalf("first execution performed %d backend runs, want %d", liveRuns, wantRuns)
+	}
+
+	before = counting.calls.Load()
+	second, err := spec.Execute(ExecConfig{Cache: store, KeepPerRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cachedRuns := counting.calls.Load() - before; cachedRuns != 0 {
+		t.Fatalf("cached execution performed %d backend runs, want 0", cachedRuns)
+	}
+
+	if len(first.Aggregates) != len(second.Aggregates) {
+		t.Fatal("aggregate counts differ between live and cached execution")
+	}
+	for i := range first.Aggregates {
+		a, b := first.Aggregates[i], second.Aggregates[i]
+		if a.Wasted != b.Wasted || a.Makespan != b.Makespan || a.Speedup != b.Speedup || a.MeanOps != b.MeanOps {
+			t.Fatalf("point %d: cached aggregate differs from live", i)
+		}
+		if len(a.PerRun) != len(b.PerRun) {
+			t.Fatalf("point %d: per-run lengths differ", i)
+		}
+		for r := range a.PerRun {
+			if a.PerRun[r] != b.PerRun[r] {
+				t.Fatalf("point %d run %d: cached per-run metrics differ from live", i, r)
+			}
+		}
+	}
+	if first.Overall != second.Overall {
+		t.Fatal("cached overall roll-up differs from live")
+	}
+}
+
+// TestCacheReplayFeedsSinksIdentically verifies the replay path delivers
+// the exact event stream a live execution does: the streamed CSV bytes of
+// a cache hit equal those of the original run.
+func TestCacheReplayFeedsSinksIdentically(t *testing.T) {
+	spec := countingSpec()
+	store := cache.NewMemory()
+
+	var live bytes.Buffer
+	if _, err := spec.Execute(ExecConfig{Cache: store, Sinks: []Sink{NewCSVSink(&live)}}); err != nil {
+		t.Fatal(err)
+	}
+	var replayed bytes.Buffer
+	before := counting.calls.Load()
+	if _, err := spec.Execute(ExecConfig{Cache: store, Sinks: []Sink{NewCSVSink(&replayed)}}); err != nil {
+		t.Fatal(err)
+	}
+	if counting.calls.Load() != before {
+		t.Fatal("replay performed backend runs")
+	}
+	if live.String() != replayed.String() {
+		t.Fatalf("replayed CSV differs from live:\nlive:\n%s\nreplayed:\n%s", live.String(), replayed.String())
+	}
+	if rows := strings.Count(live.String(), "\n"); rows != 1+len(spec.Techniques)*len(spec.Ps)*spec.Replications {
+		t.Fatalf("CSV has %d rows", rows)
+	}
+}
+
+// TestCacheCorruptEntryFallsBackToLiveRun: an undecodable or mismatched
+// cache entry must demote to a miss, not fail the campaign.
+func TestCacheCorruptEntryFallsBackToLiveRun(t *testing.T) {
+	spec := countingSpec()
+	store := cache.NewMemory()
+	hash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(hash, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	before := counting.calls.Load()
+	if _, err := spec.Execute(ExecConfig{Cache: store}); err != nil {
+		t.Fatal(err)
+	}
+	if counting.calls.Load() == before {
+		t.Fatal("corrupt cache entry was served instead of re-running")
+	}
+	// The live run must have overwritten the corrupt entry.
+	before = counting.calls.Load()
+	if _, err := spec.Execute(ExecConfig{Cache: store}); err != nil {
+		t.Fatal(err)
+	}
+	if counting.calls.Load() != before {
+		t.Fatal("repaired cache entry not served")
+	}
+}
+
+// TestSinkOutputDeterministicAcrossWorkers: the reorder stage must make
+// streamed bytes independent of worker count and completion order.
+func TestSinkOutputDeterministicAcrossWorkers(t *testing.T) {
+	spec := testSpec()
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		if _, err := spec.Execute(ExecConfig{Workers: workers, Sinks: []Sink{NewCSVSink(&buf)}}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	ref := render(1)
+	for _, workers := range []int{2, 5, 16} {
+		if got := render(workers); got != ref {
+			t.Fatalf("workers=%d: streamed CSV differs from serial", workers)
+		}
+	}
+}
+
+// errorSink fails on the nth Consume call.
+type errorSink struct {
+	n      int
+	closed bool
+}
+
+func (s *errorSink) Consume(Event) error {
+	s.n--
+	if s.n <= 0 {
+		return fmt.Errorf("sink full")
+	}
+	return nil
+}
+
+func (s *errorSink) Close() error {
+	s.closed = true
+	return nil
+}
+
+func TestSinkErrorAbortsCampaign(t *testing.T) {
+	sink := &errorSink{n: 3}
+	err := Campaign{
+		Points:       []RunSpec{testPoint(5)},
+		Replications: 20,
+	}.Stream(sink)
+	if err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("sink error not propagated: %v", err)
+	}
+	if !sink.closed {
+		t.Fatal("sink not closed after abort")
+	}
+}
+
+func TestJSONLSinkShape(t *testing.T) {
+	var buf bytes.Buffer
+	spec := countingSpec()
+	if _, err := spec.Execute(ExecConfig{Sinks: []Sink{NewJSONLSink(&buf)}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if want := len(spec.Techniques) * len(spec.Ps) * spec.Replications; len(lines) != want {
+		t.Fatalf("JSONL has %d lines, want %d", len(lines), want)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, `{"point":`) || !strings.Contains(line, `"makespan_s":`) {
+			t.Fatalf("unexpected JSONL line: %s", line)
+		}
+	}
+}
+
+// TestSinksClosedOnEarlyValidationError: the "all sinks are closed
+// before Stream returns" contract must hold on every error path,
+// including rejection before any run executes.
+func TestSinksClosedOnEarlyValidationError(t *testing.T) {
+	cases := map[string]Campaign{
+		"no points":    {Replications: 2},
+		"reps=0":       {Points: []RunSpec{testPoint(1)}},
+		"bad backend":  {Points: []RunSpec{testPoint(1)}, Replications: 2, Backend: "nope"},
+		"bad point":    {Points: []RunSpec{{Technique: "FAC2"}}, Replications: 2},
+		"backend fail": {Points: []RunSpec{{Technique: "LIFO", N: 8, P: 2, Work: workload.NewConstant(1)}}, Replications: 2},
+	}
+	for name, c := range cases {
+		sink := &errorSink{n: 1 << 30}
+		if err := c.Stream(sink); err == nil {
+			t.Errorf("%s: invalid campaign accepted", name)
+		}
+		if !sink.closed {
+			t.Errorf("%s: sink not closed on early error", name)
+		}
+	}
+}
+
+// TestStreamBoundedReorderUnderSkew: wildly different run durations
+// across points (SS is orders of magnitude more ops than STAT) must not
+// change the delivered order or the aggregates for any worker count.
+func TestStreamBoundedReorderUnderSkew(t *testing.T) {
+	points := []RunSpec{
+		{Technique: "SS", N: 20000, P: 2, Work: workload.NewConstant(0.001), H: 0.5},
+		{Technique: "STAT", N: 64, P: 2, Work: workload.NewConstant(0.001)},
+	}
+	run := func(workers int) *CampaignResult {
+		res, err := Campaign{Points: points, Replications: 8, Workers: workers}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 6} {
+		got := run(workers)
+		for i := range ref.Aggregates {
+			if got.Aggregates[i].Wasted != ref.Aggregates[i].Wasted {
+				t.Fatalf("workers=%d point %d: aggregates differ under skew", workers, i)
+			}
+		}
+	}
+}
+
+// failingStore errors on Get — a broken cache must close sinks too.
+type failingStore struct{}
+
+func (failingStore) Get(string) ([]byte, bool, error) {
+	return nil, false, fmt.Errorf("cache broken")
+}
+func (failingStore) Put(string, []byte) error { return fmt.Errorf("cache broken") }
+
+// TestExecuteClosesSinksOnEarlyError: Execute error paths before the
+// stream starts (invalid spec, failing cache) still close every sink.
+func TestExecuteClosesSinksOnEarlyError(t *testing.T) {
+	bad := countingSpec()
+	bad.Replications = 0
+	sink := &errorSink{n: 1 << 30}
+	if _, err := bad.Execute(ExecConfig{Sinks: []Sink{sink}}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if !sink.closed {
+		t.Fatal("sink not closed on spec validation error")
+	}
+
+	sink = &errorSink{n: 1 << 30}
+	if _, err := countingSpec().Execute(ExecConfig{Cache: failingStore{}, Sinks: []Sink{sink}}); err == nil {
+		t.Fatal("failing cache Get not propagated")
+	}
+	if !sink.closed {
+		t.Fatal("sink not closed on cache error")
+	}
+}

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// This file implements the pipeline's streaming writers: sinks that
+// serialize every run event as it is delivered, so arbitrarily large
+// campaigns export raw per-run data in O(1) memory. Because the pipeline
+// delivers events in deterministic order, the written bytes are
+// reproducible for a given seed regardless of worker count.
+
+// CSVSink streams one CSV row per run. The header is written on the
+// first event.
+type CSVSink struct {
+	w      *csv.Writer
+	header bool
+}
+
+// NewCSVSink returns a sink writing per-run CSV rows to w.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: csv.NewWriter(w)} }
+
+// Consume writes the event's run metrics as one row.
+func (s *CSVSink) Consume(ev Event) error {
+	if !s.header {
+		s.header = true
+		if err := s.w.Write([]string{"point", "technique", "n", "p", "rep",
+			"makespan_s", "avg_wasted_s", "speedup", "sched_ops"}); err != nil {
+			return err
+		}
+	}
+	return s.w.Write([]string{
+		strconv.Itoa(ev.Point),
+		ev.Spec.Technique,
+		strconv.FormatInt(ev.Spec.N, 10),
+		strconv.Itoa(ev.Spec.P),
+		strconv.Itoa(ev.Rep),
+		formatFloat(ev.Metrics.Makespan),
+		formatFloat(ev.Metrics.Wasted),
+		formatFloat(ev.Metrics.Speedup),
+		strconv.FormatInt(ev.Metrics.SchedOps, 10),
+	})
+}
+
+// Close flushes buffered rows.
+func (s *CSVSink) Close() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// formatFloat renders v with the shortest representation that round-trips
+// exactly, so consumers can reconstruct the bit-exact value.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// JSONLSink streams one JSON object per run (JSON Lines).
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink writing one JSON object per line to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{enc: json.NewEncoder(w)} }
+
+type jsonlRow struct {
+	Point     int     `json:"point"`
+	Technique string  `json:"technique"`
+	N         int64   `json:"n"`
+	P         int     `json:"p"`
+	Rep       int     `json:"rep"`
+	Makespan  float64 `json:"makespan_s"`
+	Wasted    float64 `json:"avg_wasted_s"`
+	Speedup   float64 `json:"speedup"`
+	SchedOps  int64   `json:"sched_ops"`
+}
+
+// Consume writes the event's run metrics as one JSON line.
+func (s *JSONLSink) Consume(ev Event) error {
+	return s.enc.Encode(jsonlRow{
+		Point:     ev.Point,
+		Technique: ev.Spec.Technique,
+		N:         ev.Spec.N,
+		P:         ev.Spec.P,
+		Rep:       ev.Rep,
+		Makespan:  ev.Metrics.Makespan,
+		Wasted:    ev.Metrics.Wasted,
+		Speedup:   ev.Metrics.Speedup,
+		SchedOps:  ev.Metrics.SchedOps,
+	})
+}
+
+// Close is a no-op; the encoder writes through.
+func (s *JSONLSink) Close() error { return nil }

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"io"
+	"strconv"
+	"testing"
+)
+
+// Round-trip coverage for the CSV exporters: every written value must
+// parse back to the source value at the exporter's precision ('g', 8
+// significant digits — see fmtF).
+
+// reparse maps a float through the exporter's formatting, giving the
+// value a reader of the CSV reconstructs.
+func reparse(t *testing.T, v float64) float64 {
+	t.Helper()
+	back, err := strconv.ParseFloat(fmtF(v), 64)
+	if err != nil {
+		t.Fatalf("fmtF(%v) = %q does not parse: %v", v, fmtF(v), err)
+	}
+	return back
+}
+
+func parseField(t *testing.T, row []string, i int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(row[i], 64)
+	if err != nil {
+		t.Fatalf("field %d = %q does not parse: %v", i, row[i], err)
+	}
+	return v
+}
+
+func readAll(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	r := csv.NewReader(buf)
+	var rows [][]string
+	for {
+		row, err := r.Read()
+		if err == io.EOF {
+			return rows
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+}
+
+func TestHagerupCSVRoundTrip(t *testing.T) {
+	spec := smallSpec()
+	res, err := RunHagerup(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHagerupCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows := readAll(t, &buf)
+	if len(rows) != 1+len(res.Cells) {
+		t.Fatalf("read %d rows, want %d", len(rows), 1+len(res.Cells))
+	}
+	for i, cell := range res.Cells {
+		row := rows[i+1]
+		if row[0] != cell.Technique {
+			t.Fatalf("row %d technique = %q, want %q", i, row[0], cell.Technique)
+		}
+		if n, _ := strconv.ParseInt(row[1], 10, 64); n != cell.N {
+			t.Fatalf("row %d n = %s, want %d", i, row[1], cell.N)
+		}
+		if p, _ := strconv.Atoi(row[2]); p != cell.P {
+			t.Fatalf("row %d p = %s, want %d", i, row[2], cell.P)
+		}
+		if runs, _ := strconv.Atoi(row[3]); runs != cell.Wasted.N {
+			t.Fatalf("row %d runs = %s, want %d", i, row[3], cell.Wasted.N)
+		}
+		for j, want := range []float64{cell.Wasted.Mean, cell.Wasted.Std,
+			cell.Wasted.Min, cell.Wasted.Median, cell.Wasted.Max, cell.MeanOps} {
+			if got := parseField(t, row, 4+j); got != reparse(t, want) {
+				t.Fatalf("row %d field %d = %v, want %v", i, 4+j, got, reparse(t, want))
+			}
+		}
+	}
+}
+
+func TestPerRunCSVRoundTrip(t *testing.T) {
+	spec := smallSpec()
+	spec.Techniques = []string{"FAC2"}
+	spec.Ns = []int64{256}
+	spec.Ps = []int{2}
+	spec.KeepPerRun = true
+	res, err := RunHagerup(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := res.Cell("FAC2", 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePerRunCSV(&buf, cell); err != nil {
+		t.Fatal(err)
+	}
+	rows := readAll(t, &buf)
+	if len(rows) != 1+len(cell.PerRun) {
+		t.Fatalf("read %d rows, want %d", len(rows), 1+len(cell.PerRun))
+	}
+	for i, want := range cell.PerRun {
+		row := rows[i+1]
+		if run, _ := strconv.Atoi(row[0]); run != i {
+			t.Fatalf("row %d run index = %s", i, row[0])
+		}
+		if got := parseField(t, row, 1); got != reparse(t, want) {
+			t.Fatalf("run %d wasted = %v, want %v", i, got, reparse(t, want))
+		}
+	}
+}
+
+func TestPerRunCSVRequiresKeptRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerRunCSV(&buf, &Cell{Technique: "SS", N: 8, P: 2}); err == nil {
+		t.Fatal("cell without per-run data accepted")
+	}
+}
+
+func TestTzenCSVRoundTrip(t *testing.T) {
+	res, err := RunTzen(TzenExperiment1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTzenCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows := readAll(t, &buf)
+	want := 0
+	for _, curve := range res.Spec.Curves {
+		want += len(res.Curves[curve.Label])
+	}
+	if len(rows) != 1+want {
+		t.Fatalf("read %d rows, want %d", len(rows), 1+want)
+	}
+	i := 1
+	for _, curve := range res.Spec.Curves {
+		for _, pt := range res.Curves[curve.Label] {
+			row := rows[i]
+			i++
+			if row[0] != curve.Label {
+				t.Fatalf("row %d curve = %q, want %q", i, row[0], curve.Label)
+			}
+			if p, _ := strconv.Atoi(row[1]); p != pt.P {
+				t.Fatalf("row %d p = %s, want %d", i, row[1], pt.P)
+			}
+			for j, v := range []float64{pt.Speedup, pt.Overhead, pt.Imbalancing} {
+				if got := parseField(t, row, 2+j); got != reparse(t, v) {
+					t.Fatalf("row %d field %d = %v, want %v", i, 2+j, got, reparse(t, v))
+				}
+			}
+		}
+	}
+}

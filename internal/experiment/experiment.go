@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -22,7 +23,10 @@ import (
 )
 
 // HagerupSpec describes a grid of wasted-time experiments following the
-// BOLD publication's experiment 1 (paper §III-B, Table III).
+// BOLD publication's experiment 1 (paper §III-B, Table III). It is a
+// thin experiment-level view over the engine's declarative CampaignSpec
+// (see CampaignSpec); RunHagerup compiles to one and executes it through
+// the streaming results pipeline.
 type HagerupSpec struct {
 	Techniques []string // DLS techniques to measure
 	Ns         []int64  // task counts
@@ -34,6 +38,14 @@ type HagerupSpec struct {
 	Workers    int      // concurrent runs; 0 selects GOMAXPROCS
 	KeepPerRun bool     // retain per-run wasted times (needed for Figure 9)
 	Backend    string   // engine backend executing the runs; "" = "sim"
+
+	// Cache, when non-nil, serves repeated grids content-addressed by
+	// the campaign spec hash without re-simulation.
+	Cache cache.Store
+
+	// Sinks additionally observe every run's metrics as a deterministic
+	// stream (e.g. engine.NewCSVSink for raw-data export).
+	Sinks []engine.Sink
 }
 
 // Validate checks the spec for usability.
@@ -107,18 +119,6 @@ func cellKey(tech string, n int64, p int) string {
 	return fmt.Sprintf("%s/%d/%d", tech, n, p)
 }
 
-// cellSeed derives the base seed of one grid cell. Distinct cells get
-// decorrelated streams even if the user seed is small.
-func cellSeed(seed uint64, tech string, n int64, p int) uint64 {
-	h := rng.Mix64(seed)
-	for _, c := range []byte(tech) {
-		h = rng.Mix64(h ^ uint64(c))
-	}
-	h = rng.Mix64(h ^ uint64(n))
-	h = rng.Mix64(h ^ uint64(p)<<32)
-	return h
-}
-
 // OneHagerupRun executes a single run of one cell on the default backend
 // and returns its average wasted time and the number of scheduling
 // operations.
@@ -148,52 +148,63 @@ func hagerupSpec(tech string, n int64, p int, mu, h float64, state uint64) engin
 	}
 }
 
-// RunHagerup executes the full grid, farming the independent runs of each
-// cell over the engine's campaign runner.
+// CampaignSpec returns the declarative engine campaign describing the
+// whole grid: every (n, p, technique) cell as one campaign point under
+// the per-cell seed policy, which reproduces exactly the per-cell stream
+// derivation this package has always used. The spec is plain data — its
+// canonical hash is the grid's content address in the result cache.
+func (s HagerupSpec) CampaignSpec() engine.CampaignSpec {
+	return engine.CampaignSpec{
+		Backend:      s.Backend,
+		Techniques:   s.Techniques,
+		Ns:           s.Ns,
+		Ps:           s.Ps,
+		Workload:     workload.Spec{Kind: "exponential", P1: s.Mu},
+		H:            s.H,
+		Replications: s.Runs,
+		Seed:         s.Seed,
+		SeedPolicy:   engine.SeedPerCell,
+	}
+}
+
+// RunHagerup executes the full grid as one engine campaign, streaming
+// the independent runs through the results pipeline (and, when
+// configured, the content-addressed cache).
 func RunHagerup(spec HagerupSpec) (*HagerupResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	res, err := spec.CampaignSpec().Execute(engine.ExecConfig{
+		Workers:    spec.Workers,
+		KeepPerRun: spec.KeepPerRun,
+		Cache:      spec.Cache,
+		Sinks:      spec.Sinks,
+	})
+	if err != nil {
+		return nil, err
+	}
 	result := &HagerupResult{Spec: spec, index: make(map[string]int)}
+	// Aggregates expand in the same n-major, p, technique order as the
+	// grid cells.
+	i := 0
 	for _, n := range spec.Ns {
 		for _, p := range spec.Ps {
 			for _, tech := range spec.Techniques {
-				cell, err := runCell(spec, tech, n, p)
-				if err != nil {
-					return nil, err
+				agg := res.Aggregates[i]
+				i++
+				cell := Cell{Technique: tech, N: n, P: p, Wasted: agg.Wasted, MeanOps: agg.MeanOps}
+				if spec.KeepPerRun {
+					cell.PerRun = make([]float64, len(agg.PerRun))
+					for j, m := range agg.PerRun {
+						cell.PerRun[j] = m.Wasted
+					}
 				}
 				result.index[cellKey(tech, n, p)] = len(result.Cells)
-				result.Cells = append(result.Cells, *cell)
+				result.Cells = append(result.Cells, cell)
 			}
 		}
 	}
 	return result, nil
-}
-
-// runCell fans the replications of one cell out over the campaign runner
-// and aggregates.
-func runCell(spec HagerupSpec, tech string, n int64, p int) (*Cell, error) {
-	base := cellSeed(spec.Seed, tech, n, p)
-	res, err := engine.Campaign{
-		Backend:      spec.Backend,
-		Points:       []engine.RunSpec{hagerupSpec(tech, n, p, spec.Mu, spec.H, 0)},
-		Replications: spec.Runs,
-		Workers:      spec.Workers,
-		SeedFor:      func(_, run int) uint64 { return rng.RunSeed(base, run) },
-		KeepRuns:     spec.KeepPerRun,
-	}.Run()
-	if err != nil {
-		return nil, err
-	}
-	agg := res.Aggregates[0]
-	cell := &Cell{Technique: tech, N: n, P: p, Wasted: agg.Wasted, MeanOps: agg.MeanOps}
-	if spec.KeepPerRun {
-		cell.PerRun = make([]float64, len(agg.PerRun))
-		for i, m := range agg.PerRun {
-			cell.PerRun[i] = m.Wasted
-		}
-	}
-	return cell, nil
 }
 
 // Series extracts, for one technique and task count, the mean wasted time

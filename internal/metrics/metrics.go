@@ -105,7 +105,12 @@ type Summary struct {
 }
 
 // Summarize computes sample statistics over vals. It panics on an empty
-// slice — callers always have at least one run.
+// slice — callers always have at least one run. A streaming Accumulator
+// fed the same values in the same order reproduces N, Mean, Min and Max
+// bit-exactly; Std only to floating-point reassociation error (Welford
+// vs the two-pass formula below), which is why bit-reproducible paths
+// summarize buffered values and reserve the Accumulator for unbounded
+// streams.
 func Summarize(vals []float64) Summary {
 	if len(vals) == 0 {
 		panic("metrics: Summarize of empty slice")
@@ -122,6 +127,9 @@ func Summarize(vals []float64) Summary {
 		}
 	}
 	s.Mean = sum / float64(len(vals))
+	// Two-pass sum of squared deviations: the historical buffered
+	// formula, preserved bit for bit (Accumulator's online Welford M2 is
+	// numerically equivalent but not bit-identical).
 	var ss float64
 	for _, v := range vals {
 		d := v - s.Mean

@@ -1,0 +1,108 @@
+package metrics
+
+import "math"
+
+// Accumulator is an online (streaming) estimator of count, mean, variance,
+// minimum and maximum using Welford's algorithm. It lets the engine's
+// results pipeline aggregate arbitrarily long run streams in O(1) memory
+// per metric, where the buffered path needs every sample in a slice.
+//
+// Determinism: Add and Merge are pure floating-point recurrences, so the
+// same sequence of calls yields bit-identical state on every execution,
+// and the pipeline delivers samples in replication order regardless of
+// worker count or completion order. Count, Sum (hence Mean), Min and Max
+// are bit-identical to a buffered Summarize over the same samples; the
+// Welford variance is numerically equivalent (and stabler) but not
+// bit-identical to Summarize's two-pass formula, which is why the
+// engine's per-point aggregates summarize the retained per-run values
+// and reserve the Accumulator for genuinely unbounded streams and
+// cross-partition roll-ups.
+type Accumulator struct {
+	Count int64
+	// Sum is the plain running sum; the reported mean is Sum/Count so
+	// that streaming means are bit-identical to the historical buffered
+	// mean (which summed in slice order and divided once).
+	Sum float64
+	// MeanV and M2 are Welford's running mean and sum of squared
+	// deviations; variance is M2/(Count−1).
+	MeanV, M2 float64
+	MinV      float64
+	MaxV      float64
+}
+
+// Add folds one sample into the accumulator.
+func (a *Accumulator) Add(v float64) {
+	if a.Count == 0 {
+		a.MinV, a.MaxV = v, v
+	} else {
+		if v < a.MinV {
+			a.MinV = v
+		}
+		if v > a.MaxV {
+			a.MaxV = v
+		}
+	}
+	a.Count++
+	a.Sum += v
+	d := v - a.MeanV
+	a.MeanV += d / float64(a.Count)
+	a.M2 += d * (v - a.MeanV)
+}
+
+// Merge folds accumulator b into a using the parallel combination of
+// Chan, Golub & LeVeque. Merging is deterministic: equal operand states
+// merged in equal order produce bit-identical results. Note that merging
+// partitions is not bit-identical to a single sequential pass over the
+// concatenated samples — pipelines that must reproduce the sequential
+// bits (the engine's aggregating sink) feed one accumulator in sample
+// order and reserve Merge for cross-partition roll-ups, where only the
+// partition order is fixed.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		*a = b
+		return
+	}
+	if b.MinV < a.MinV {
+		a.MinV = b.MinV
+	}
+	if b.MaxV > a.MaxV {
+		a.MaxV = b.MaxV
+	}
+	n := a.Count + b.Count
+	d := b.MeanV - a.MeanV
+	a.M2 += b.M2 + d*d*float64(a.Count)*float64(b.Count)/float64(n)
+	a.MeanV += d * float64(b.Count) / float64(n)
+	a.Sum += b.Sum
+	a.Count = n
+}
+
+// N returns the number of samples folded in.
+func (a Accumulator) N() int64 { return a.Count }
+
+// Mean returns the running mean (0 before any sample).
+func (a Accumulator) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// Var returns the sample variance (n−1 denominator; 0 for n < 2).
+func (a Accumulator) Var() float64 {
+	if a.Count < 2 {
+		return 0
+	}
+	return a.M2 / float64(a.Count-1)
+}
+
+// Std returns the sample standard deviation.
+func (a Accumulator) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest sample (0 before any sample).
+func (a Accumulator) Min() float64 { return a.MinV }
+
+// Max returns the largest sample (0 before any sample).
+func (a Accumulator) Max() float64 { return a.MaxV }

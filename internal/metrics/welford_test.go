@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func samples(n int, seed uint64) []float64 {
+	r := rng.FromState(rng.Mix64(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Exponential(r, 3.5)
+	}
+	return out
+}
+
+// TestAccumulatorMatchesSummarize is the streaming pipeline's equivalence
+// contract: folding samples in slice order reproduces Summarize over the
+// buffered slice — count, mean, min and max bit-exactly; the standard
+// deviation to floating-point reassociation error (Welford M2 vs the
+// buffered two-pass formula).
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	vals := samples(1000, 7)
+	var a Accumulator
+	for _, v := range vals {
+		a.Add(v)
+	}
+	want := Summarize(vals)
+	if a.Mean() != want.Mean {
+		t.Errorf("Mean = %v, want %v (bit-exact)", a.Mean(), want.Mean)
+	}
+	if math.Abs(a.Std()-want.Std) > 1e-12*want.Std {
+		t.Errorf("Std = %v, want %v", a.Std(), want.Std)
+	}
+	if a.Min() != want.Min || a.Max() != want.Max {
+		t.Errorf("Min/Max = %v/%v, want %v/%v", a.Min(), a.Max(), want.Min, want.Max)
+	}
+	if int(a.N()) != want.N {
+		t.Errorf("N = %d, want %d", a.N(), want.N)
+	}
+}
+
+// TestAccumulatorMeanIsPlainSum pins the design decision that the
+// reported mean is Sum/Count — the exact float the historical buffered
+// path computed — rather than Welford's running mean.
+func TestAccumulatorMeanIsPlainSum(t *testing.T) {
+	vals := samples(257, 11)
+	var a Accumulator
+	var sum float64
+	for _, v := range vals {
+		a.Add(v)
+		sum += v
+	}
+	if want := sum / float64(len(vals)); a.Mean() != want {
+		t.Fatalf("Mean = %v, want plain-sum mean %v", a.Mean(), want)
+	}
+}
+
+func TestAccumulatorZeroValue(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Var() != 0 || a.Std() != 0 {
+		t.Fatalf("zero accumulator reports %+v", a)
+	}
+	a.Add(2)
+	if a.N() != 1 || a.Mean() != 2 || a.Min() != 2 || a.Max() != 2 {
+		t.Fatalf("single sample: %+v", a)
+	}
+	if a.Var() != 0 {
+		t.Fatalf("Var of one sample = %v", a.Var())
+	}
+}
+
+func TestAccumulatorVarianceAccuracy(t *testing.T) {
+	// Welford must stay accurate where the naive sum-of-squares loses
+	// precision: tiny variance on a huge offset.
+	var a Accumulator
+	base := 1e9
+	for _, d := range []float64{0, 1, 2, 0, 1, 2, 0, 1, 2} {
+		a.Add(base + d)
+	}
+	want := 0.75 // sample variance of {0,1,2}×3
+	if math.Abs(a.Var()-want) > 1e-6 {
+		t.Fatalf("Var = %v, want %v", a.Var(), want)
+	}
+}
+
+func TestMergeMatchesWholeStream(t *testing.T) {
+	vals := samples(500, 13)
+	for _, split := range []int{0, 1, 123, 499, 500} {
+		var left, right, whole Accumulator
+		for _, v := range vals[:split] {
+			left.Add(v)
+		}
+		for _, v := range vals[split:] {
+			right.Add(v)
+		}
+		for _, v := range vals {
+			whole.Add(v)
+		}
+		left.Merge(right)
+		if left.N() != whole.N() {
+			t.Fatalf("split %d: N = %d, want %d", split, left.N(), whole.N())
+		}
+		// Min and max are exact under merging; sum and the moments agree
+		// to floating-point reassociation error.
+		if left.Min() != whole.Min() || left.Max() != whole.Max() {
+			t.Fatalf("split %d: min/max differ from whole stream", split)
+		}
+		if math.Abs(left.Sum-whole.Sum) > 1e-12*math.Abs(whole.Sum) {
+			t.Fatalf("split %d: Sum = %v, want %v", split, left.Sum, whole.Sum)
+		}
+		if math.Abs(left.Mean()-whole.Mean()) > 1e-12*math.Abs(whole.Mean()) {
+			t.Fatalf("split %d: Mean = %v, want %v", split, left.Mean(), whole.Mean())
+		}
+		if math.Abs(left.Var()-whole.Var()) > 1e-9*whole.Var() {
+			t.Fatalf("split %d: Var = %v, want %v", split, left.Var(), whole.Var())
+		}
+	}
+}
+
+// TestMergeDeterministic: equal operand states merged in equal order are
+// bit-identical — the property the campaign's Overall roll-up relies on.
+func TestMergeDeterministic(t *testing.T) {
+	build := func() Accumulator {
+		parts := [][]float64{samples(100, 1), samples(50, 2), samples(75, 3)}
+		var total Accumulator
+		for _, part := range parts {
+			var a Accumulator
+			for _, v := range part {
+				a.Add(v)
+			}
+			total.Merge(a)
+		}
+		return total
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("repeated merge not bit-identical: %+v != %+v", a, b)
+	}
+}
+
+func TestMergeEmptyOperands(t *testing.T) {
+	var empty, filled Accumulator
+	filled.Add(1)
+	filled.Add(5)
+
+	a := filled
+	a.Merge(Accumulator{})
+	if a != filled {
+		t.Fatal("merging an empty accumulator changed state")
+	}
+	b := empty
+	b.Merge(filled)
+	if b != filled {
+		t.Fatal("merging into an empty accumulator did not adopt operand state")
+	}
+}

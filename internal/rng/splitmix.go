@@ -39,3 +39,16 @@ func RunSeed(base uint64, run int) uint64 {
 func StreamFor(base uint64, run int) *Rand48 {
 	return FromState(RunSeed(base, run))
 }
+
+// CellSeed derives the base seed of one (technique, n, p) grid cell.
+// Distinct cells get decorrelated streams even if the user seed is
+// small; the per-run state of the cell then comes from RunSeed.
+func CellSeed(seed uint64, tech string, n int64, p int) uint64 {
+	h := Mix64(seed)
+	for _, c := range []byte(tech) {
+		h = Mix64(h ^ uint64(c))
+	}
+	h = Mix64(h ^ uint64(n))
+	h = Mix64(h ^ uint64(p)<<32)
+	return h
+}

@@ -319,11 +319,11 @@ func Total(w Workload, n int64) float64 {
 // experiment files. Fields mirror paper Figure 2's "Task Execution Times /
 // Distribution" box.
 type Spec struct {
-	Kind string  // constant, uniform, increasing, decreasing, exponential, normal, gamma, bimodal
-	P1   float64 // first parameter (see Build)
-	P2   float64 // second parameter
-	P3   float64 // third parameter (bimodal heavy probability)
-	N    int64   // task count, needed by increasing/decreasing
+	Kind string  `json:"kind"`         // constant, uniform, increasing, decreasing, exponential, normal, gamma, bimodal
+	P1   float64 `json:"p1,omitempty"` // first parameter (see Build)
+	P2   float64 `json:"p2,omitempty"` // second parameter
+	P3   float64 `json:"p3,omitempty"` // third parameter (bimodal heavy probability)
+	N    int64   `json:"n,omitempty"`  // task count, needed by increasing/decreasing
 }
 
 // Build constructs the workload a Spec describes.
