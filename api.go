@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -333,6 +334,13 @@ func (c Config) result(n int64, res *engine.RunResult) *Result {
 // Simulate executes one master–worker loop execution of n tasks on p PEs
 // under the named DLS technique and returns its timing results.
 func Simulate(technique string, n int64, p int, opts ...Option) (*Result, error) {
+	return SimulateContext(context.Background(), technique, n, p, opts...)
+}
+
+// SimulateContext is Simulate with a cancellation context: a cancelled
+// ctx aborts before the run starts (the built-in simulators complete an
+// already-started run) and returns an error wrapping ctx.Err().
+func SimulateContext(ctx context.Context, technique string, n int64, p int, opts ...Option) (*Result, error) {
 	c, err := buildConfig(n, p, opts)
 	if err != nil {
 		return nil, err
@@ -341,7 +349,7 @@ func Simulate(technique string, n int64, p int, opts ...Option) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	res, err := be.Run(c.spec(technique, n, p))
+	res, err := be.Run(ctx, c.spec(technique, n, p))
 	if err != nil {
 		return nil, err
 	}
@@ -365,6 +373,13 @@ func WastedTime(technique string, n int64, p int, opts ...Option) (float64, erro
 // the result is identical to running them serially, and with WithCache a
 // repeated call is served from the content-addressed result store.
 func MeanWastedTime(technique string, n int64, p int, runs int, opts ...Option) (float64, error) {
+	return MeanWastedTimeContext(context.Background(), technique, n, p, runs, opts...)
+}
+
+// MeanWastedTimeContext is MeanWastedTime with a cancellation context:
+// cancelling ctx stops scheduling new replications, drains the worker
+// pool and returns an error wrapping ctx.Err().
+func MeanWastedTimeContext(ctx context.Context, technique string, n int64, p int, runs int, opts ...Option) (float64, error) {
 	if runs <= 0 {
 		return 0, fmt.Errorf("repro: runs must be positive, got %d", runs)
 	}
@@ -377,7 +392,7 @@ func MeanWastedTime(technique string, n int64, p int, runs int, opts ...Option) 
 		if err != nil {
 			return 0, err
 		}
-		res, err := spec.Execute(engine.ExecConfig{Workers: c.workers, Cache: store})
+		res, err := spec.Execute(ctx, engine.ExecConfig{Workers: c.workers, Cache: store})
 		if err != nil {
 			return 0, err
 		}
@@ -392,7 +407,7 @@ func MeanWastedTime(technique string, n int64, p int, runs int, opts ...Option) 
 		// Each run seeds its stream exactly as a serial
 		// Simulate(WithSeed(rng.RunSeed(base, r))) loop would.
 		SeedFor: func(_, r int) uint64 { return rng.Mix64(rng.RunSeed(c.seed, r)) },
-	}.Run()
+	}.Run(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -404,6 +419,12 @@ func MeanWastedTime(technique string, n int64, p int, runs int, opts ...Option) 
 // concurrently; WithBackend targets any registered backend and WithCache
 // serves repeated comparisons from the result store.
 func Compare(techniques []string, n int64, p int, opts ...Option) (map[string]float64, error) {
+	return CompareContext(context.Background(), techniques, n, p, opts...)
+}
+
+// CompareContext is Compare with a cancellation context, aborting the
+// technique fan-out when ctx is cancelled.
+func CompareContext(ctx context.Context, techniques []string, n int64, p int, opts ...Option) (map[string]float64, error) {
 	if len(techniques) == 0 {
 		return nil, fmt.Errorf("repro: Compare needs at least one technique")
 	}
@@ -417,7 +438,7 @@ func Compare(techniques []string, n int64, p int, opts ...Option) (map[string]fl
 		if err != nil {
 			return nil, err
 		}
-		res, err = spec.Execute(engine.ExecConfig{Workers: c.workers, Cache: store})
+		res, err = spec.Execute(ctx, engine.ExecConfig{Workers: c.workers, Cache: store})
 		if err != nil {
 			return nil, err
 		}
@@ -434,7 +455,7 @@ func Compare(techniques []string, n int64, p int, opts ...Option) (map[string]fl
 			// One run per technique under the facade's single-run seed,
 			// as the serial WastedTime loop derived it.
 			SeedFor: func(_, _ int) uint64 { return rng.Mix64(c.seed) },
-		}.Run()
+		}.Run(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -46,7 +47,7 @@ func benchTzen(b *testing.B, exp int) {
 		spec = experiment.TzenExperiment2()
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunTzen(spec)
+		res, err := experiment.RunTzen(context.Background(), spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func benchHagerup(b *testing.B, figure int, n int64) {
 	spec.Ns = []int64{n}
 	spec.Runs = benchRuns(n)
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunHagerup(spec)
+		res, err := experiment.RunHagerup(context.Background(), spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkFigure9_FACPerRun(b *testing.B) {
 	spec.Runs = 100
 	spec.KeepPerRun = true
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunHagerup(spec)
+		res, err := experiment.RunHagerup(context.Background(), spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -192,7 +193,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	var serialMean, parallelMean float64
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := campaign(1).Run()
+			res, err := campaign(1).Run(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -201,7 +202,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := campaign(0).Run()
+			res, err := campaign(0).Run(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -244,7 +245,7 @@ func BenchmarkTableII_ChunkCalculators(b *testing.B) {
 // (FAC2, 8192 tasks, 64 PEs, one run per iteration).
 func BenchmarkTableIII_GridCell(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, _, err := experiment.OneHagerupRun("FAC2", 8192, 64, 1, 0.5, rng.StreamFor(benchSeed, i))
+		_, _, err := experiment.OneHagerupRun(context.Background(), "FAC2", 8192, 64, 1, 0.5, rng.StreamFor(benchSeed, i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -357,7 +358,7 @@ func BenchmarkExtensionAdaptive(b *testing.B) {
 		b.Run(tech, func(b *testing.B) {
 			var sum float64
 			for i := 0; i < b.N; i++ {
-				w, _, err := experiment.OneHagerupRun(tech, n, p, 1, 0.5, rng.StreamFor(benchSeed+3, i))
+				w, _, err := experiment.OneHagerupRun(context.Background(), tech, n, p, 1, 0.5, rng.StreamFor(benchSeed+3, i))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -391,7 +392,7 @@ func BenchmarkAblationSimulatorBackend(b *testing.B) {
 			spec.Ps = []int{8}
 			spec.Curves = spec.Curves[2:3] // GSS(1) only
 			spec.UseMSG = true
-			if _, err := experiment.RunTzen(spec); err != nil {
+			if _, err := experiment.RunTzen(context.Background(), spec); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -402,7 +403,7 @@ func BenchmarkAblationSimulatorBackend(b *testing.B) {
 // sweep on a Hagerup cell.
 func BenchmarkExtensionGSSSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.GSSSweep(8192, 8, 10, 1, 0.5, benchSeed+4)
+		res, err := experiment.GSSSweep(context.Background(), 8192, 8, 10, 1, 0.5, benchSeed+4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -420,7 +421,7 @@ func BenchmarkExtensionGSSSweep(b *testing.B) {
 // study (optimal k near n/p with speedup ~69 of 72).
 func BenchmarkExtensionCSSSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.CSSSweep(100000, 72, 110e-6, 5e-6, 200e-6)
+		res, err := experiment.CSSSweep(context.Background(), 100000, 72, 110e-6, 5e-6, 200e-6)
 		if err != nil {
 			b.Fatal(err)
 		}

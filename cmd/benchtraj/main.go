@@ -1,0 +1,167 @@
+// Command benchtraj emits the repo's machine-readable performance
+// trajectory: it measures campaign throughput (runs per second) through
+// the engine's streaming pipeline under the configurations future PRs
+// need to compare against — sequential vs parallel execution and live
+// vs cache-replayed results — and writes them as one JSON document
+// (BENCH_PR3.json at the repo root for this PR).
+//
+// It complements `go test -bench` (which guards against regressions in
+// relative terms on a developer's machine) by recording absolute
+// throughput numbers in a stable schema that CI artifacts and later
+// PRs can diff:
+//
+//	go run ./cmd/benchtraj -out BENCH_PR3.json
+//	go run ./cmd/benchtraj -reps 50 -out /dev/stdout   # quick look
+//
+// Every measurement executes the identical declarative campaign spec,
+// so the work per run is constant across configurations and PRs
+// (changing the spec bumps the schema's spec_hash, making stale
+// comparisons detectable).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cliutil"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// measurement is one throughput sample.
+type measurement struct {
+	Name       string  `json:"name"`    // e.g. "campaign/parallel"
+	Workers    int     `json:"workers"` // 0 = GOMAXPROCS
+	Cached     bool    `json:"cached"`  // served from the result store
+	Runs       int64   `json:"runs"`    // simulated runs per iteration
+	Seconds    float64 `json:"seconds"` // best iteration wall time
+	RunsPerSec float64 `json:"runs_per_sec"`
+}
+
+// report is the trajectory document. Schema changes must bump Schema.
+type report struct {
+	Schema    string  `json:"schema"`
+	GoVersion string  `json:"go_version"`
+	CPUs      int     `json:"cpus"`
+	SpecHash  string  `json:"spec_hash"` // campaign measured, content-addressed
+	Points    int     `json:"points"`
+	Reps      int     `json:"replications"`
+	Generated string  `json:"generated_at"`
+	Iters     int     `json:"iterations_per_measurement"`
+	Derived   derived `json:"derived"`
+
+	Measurements []measurement `json:"measurements"`
+}
+
+type derived struct {
+	ParallelSpeedup float64 `json:"parallel_speedup"` // parallel vs sequential
+	CacheSpeedup    float64 `json:"cache_speedup"`    // cached vs parallel live
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtraj: ")
+	err := run()
+	cliutil.Exit(err)
+}
+
+func run() error {
+	var (
+		out   = flag.String("out", "BENCH_PR3.json", "output file for the trajectory document")
+		reps  = flag.Int("reps", 250, "replications per campaign point")
+		iters = flag.Int("iters", 3, "iterations per measurement (best is reported)")
+	)
+	flag.Parse()
+	if *reps <= 0 || *iters <= 0 {
+		return cliutil.Usagef("-reps and -iters must be positive")
+	}
+
+	spec := engine.CampaignSpec{
+		Techniques:   []string{"FAC2", "GSS"},
+		Ns:           []int64{4096},
+		Ps:           []int{8},
+		Workload:     workload.Spec{Kind: "exponential", P1: 1},
+		H:            0.5,
+		Replications: *reps,
+		Seed:         20170601,
+	}
+	points, err := spec.Points()
+	if err != nil {
+		return err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return err
+	}
+	totalRuns := int64(len(points)) * int64(*reps)
+	ctx := context.Background()
+
+	measure := func(name string, workers int, store cache.Store, cached bool) (measurement, error) {
+		best := measurement{Name: name, Workers: workers, Cached: cached, Runs: totalRuns}
+		for i := 0; i < *iters; i++ {
+			start := time.Now()
+			if _, err := spec.Execute(ctx, engine.ExecConfig{Workers: workers, Cache: store}); err != nil {
+				return measurement{}, fmt.Errorf("%s: %w", name, err)
+			}
+			secs := time.Since(start).Seconds()
+			if best.Seconds == 0 || secs < best.Seconds {
+				best.Seconds = secs
+			}
+		}
+		best.RunsPerSec = float64(totalRuns) / best.Seconds
+		log.Printf("%-20s %8.0f runs/s  (%d runs in %.3fs)", name, best.RunsPerSec, totalRuns, best.Seconds)
+		return best, nil
+	}
+
+	seq, err := measure("campaign/sequential", 1, nil, false)
+	if err != nil {
+		return err
+	}
+	par, err := measure("campaign/parallel", 0, nil, false)
+	if err != nil {
+		return err
+	}
+	// Cached replay: populate the store once live, then measure replays.
+	store := cache.NewMemory()
+	if _, err := spec.Execute(ctx, engine.ExecConfig{Cache: store}); err != nil {
+		return err
+	}
+	cached, err := measure("campaign/cached", 0, store, true)
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		Schema:    "dlsim-bench-trajectory/v1",
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		SpecHash:  hash,
+		Points:    len(points),
+		Reps:      *reps,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Iters:     *iters,
+		Derived: derived{
+			ParallelSpeedup: par.RunsPerSec / seq.RunsPerSec,
+			CacheSpeedup:    cached.RunsPerSec / par.RunsPerSec,
+		},
+		Measurements: []measurement{seq, par, cached},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	log.Printf("parallel speedup %.2fx, cache speedup %.2fx; wrote %s",
+		rep.Derived.ParallelSpeedup, rep.Derived.CacheSpeedup, *out)
+	return nil
+}

@@ -9,6 +9,10 @@
 // store without re-simulation. Whole grids run from a JSON spec file via
 // -spec, and -out streams every run's metrics as CSV or JSON Lines.
 //
+// Ctrl-C (or SIGTERM) cancels an in-flight campaign cleanly: streaming
+// output written so far is flushed and the command exits with code 130;
+// usage errors exit 2 and runtime failures exit 1 (internal/cliutil).
+//
 // Examples:
 //
 //	dlsim -tech FAC2 -n 8192 -p 64                      # Hagerup defaults
@@ -21,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,7 +45,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dlsim: ")
+	ctx, stop := cliutil.SignalContext(context.Background())
+	err := run(ctx)
+	stop()
+	cliutil.Exit(err)
+}
 
+func run(ctx context.Context) error {
 	var (
 		tech     = flag.String("tech", "FAC2", "DLS technique: "+strings.Join(sched.Names(), ", "))
 		backend  = flag.String("backend", engine.DefaultBackend, "simulation backend: "+strings.Join(engine.Names(), ", "))
@@ -71,13 +82,21 @@ func main() {
 	)
 	flag.Parse()
 
-	store := cliutil.OpenStore(*cacheDir)
-	sinks, closeOut := cliutil.OpenOut(*outFile)
+	store, err := cliutil.OpenStore(*cacheDir)
+	if err != nil {
+		return err
+	}
+	sinks, closeOut, err := cliutil.OpenOut(*outFile)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
 
 	if *specFile != "" {
-		cliutil.RunSpecFile(*specFile, *workers, store, sinks)
-		closeOut()
-		return
+		if err := cliutil.RunSpecFile(ctx, *specFile, *workers, store, sinks); err != nil {
+			return err
+		}
+		return closeOut()
 	}
 
 	var ws []float64
@@ -85,7 +104,7 @@ func main() {
 		for _, f := range strings.Split(*weights, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 			if err != nil {
-				log.Fatalf("bad weight %q: %v", f, err)
+				return cliutil.Usagef("bad weight %q: %v", f, err)
 			}
 			ws = append(ws, v)
 		}
@@ -102,15 +121,15 @@ func main() {
 		declarable = false
 		f, err := os.Open(*replayIn)
 		if err != nil {
-			log.Fatal(err)
+			return cliutil.Usagef("replay: %v", err)
 		}
 		tr, err := trace.Read(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := tr.Validate(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if tasks := tr.Tasks(); tasks < *n {
 			log.Printf("trace covers %d tasks; reducing -n from %d", tasks, *n)
@@ -118,7 +137,7 @@ func main() {
 		}
 		explicit, err := workload.NewExplicit(tr.PerTaskTimes(*n))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		work = explicit
 	} else {
@@ -127,7 +146,7 @@ func main() {
 		built.N = *n
 		w, err := built.Build()
 		if err != nil {
-			log.Fatal(err)
+			return cliutil.Usagef("%v", err)
 		}
 		work = w
 	}
@@ -148,13 +167,13 @@ func main() {
 		// chunks (msg) fails here, before the campaign's work is spent.
 		be, err := engine.New(*backend)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		spec := point
 		spec.RNGState = lastRunState
 		spec.Observe = recorder.Record
-		if _, err := be.Run(spec); err != nil {
-			log.Fatal(err)
+		if _, err := be.Run(ctx, spec); err != nil {
+			return err
 		}
 	}
 
@@ -175,9 +194,9 @@ func main() {
 			Seed:         *seed,
 			SeedPolicy:   engine.SeedFlat,
 		}
-		res, err := cspec.Execute(engine.ExecConfig{Workers: *workers, Cache: store, Sinks: sinks})
+		res, err := cspec.Execute(ctx, engine.ExecConfig{Workers: *workers, Cache: store, Sinks: sinks})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		agg = res.Aggregates[0]
 	} else {
@@ -187,13 +206,15 @@ func main() {
 			Replications: *runs,
 			Workers:      *workers,
 			SeedFor:      func(_, r int) uint64 { return rng.RunSeed(*seed, r) },
-		}.RunWith(sinks...)
+		}.RunWith(ctx, sinks...)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		agg = res.Aggregates[0]
 	}
-	closeOut()
+	if err := closeOut(); err != nil {
+		return err
+	}
 	seq := workload.Total(work, *n)
 
 	fmt.Printf("technique        %s\n", *tech)
@@ -211,14 +232,14 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := trace.Write(f, recorder.Trace()); err != nil {
 			f.Close()
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("wrote %d chunk events to %s", len(recorder.Trace().Events), *traceOut)
 	}
@@ -229,13 +250,13 @@ func main() {
 		// run the aggregate saw, without retaining every result.
 		be, err := engine.New(*backend)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		spec := point
 		spec.RNGState = lastRunState
-		lastRes, err := be.Run(spec)
+		lastRes, err := be.Run(ctx, spec)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println("\nlast run, per PE:")
 		var tb ascii.Table
@@ -246,4 +267,5 @@ func main() {
 		}
 		os.Stdout.WriteString(tb.String())
 	}
+	return nil
 }

@@ -1,0 +1,111 @@
+// Command dlsimd is the campaign service daemon: a long-running HTTP
+// server that accepts declarative campaign specs, executes them through
+// the engine's context-aware pipeline, and streams results back as JSON
+// Lines or CSV.
+//
+// Concurrent identical submissions are deduplicated (singleflight on
+// the canonical spec hash) so any number of clients asking the same
+// question share one execution; completed campaigns live in the
+// content-addressed result store, so re-submitting a spec is served
+// with zero backend runs. SIGINT/SIGTERM shut the daemon down
+// gracefully: the listener stops, in-flight jobs are cancelled through
+// their contexts, and the worker pools drain.
+//
+// Quickstart:
+//
+//	dlsimd -addr :8080 -cache .dlsim-cache &
+//	curl -s -X POST localhost:8080/v1/jobs -d @campaign.json
+//	curl -s localhost:8080/v1/jobs/j1
+//	curl -s localhost:8080/v1/jobs/j1/results          # JSON Lines
+//	curl -s 'localhost:8080/v1/jobs/j1/results?format=csv'
+//	curl -s -X DELETE localhost:8080/v1/jobs/j1        # cancel
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cliutil"
+	"repro/internal/jobs"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlsimd: ")
+	ctx, stop := cliutil.SignalContext(context.Background())
+	err := run(ctx)
+	stop()
+	cliutil.Exit(err)
+}
+
+func run(ctx context.Context) error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cache", "", "content-addressed result store directory (default: in-memory only)")
+		queue    = flag.Int("queue", 64, "bounded submission queue depth")
+		jobsN    = flag.Int("jobs", 1, "campaigns executing concurrently")
+		workers  = flag.Int("workers", 0, "concurrent runs per campaign (0 = all CPU cores)")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown window for in-flight HTTP requests")
+	)
+	flag.Parse()
+
+	// A memory tier always fronts the store so repeated submissions are
+	// served without JSON decode + disk reads; -cache adds durability
+	// across daemon restarts.
+	var store cache.Store = cache.NewMemory()
+	if *cacheDir != "" {
+		disk, err := cache.NewDisk(*cacheDir)
+		if err != nil {
+			return err
+		}
+		store = cache.NewTiered(store, disk)
+		log.Printf("result store: memory over disk at %s", disk.Dir())
+	} else {
+		log.Print("result store: in-memory (pass -cache DIR for durability)")
+	}
+
+	mgr := jobs.NewManager(jobs.Config{
+		Store:       store,
+		QueueDepth:  *queue,
+		Concurrency: *jobsN,
+		Workers:     *workers,
+	})
+	defer mgr.Close()
+
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     service.New(mgr).Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (bad address, port in use).
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down: draining HTTP, cancelling in-flight jobs")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	// mgr.Close (deferred) cancels queued and running jobs and waits for
+	// the campaign workers to drain; a signal-driven shutdown is a clean
+	// exit, not a failure.
+	return nil
+}

@@ -23,9 +23,15 @@
 // -out FILE to stream every run's metrics as CSV (or JSON Lines with a
 // .jsonl suffix) while the campaign executes; for the csv subcommand
 // -out names the output directory.
+//
+// Ctrl-C (or SIGTERM) cancels the in-flight campaign cleanly through
+// the engine's context plumbing: partial -out output is flushed and the
+// command exits with code 130. Usage errors exit 2, runtime failures 1
+// (internal/cliutil).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -47,9 +53,16 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("repro: ")
+	ctx, stop := cliutil.SignalContext(context.Background())
+	err := run(ctx)
+	stop()
+	cliutil.Exit(err)
+}
+
+func run(ctx context.Context) error {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		return cliutil.Usagef("missing subcommand")
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -68,54 +81,88 @@ func main() {
 	fs.Parse(os.Args[2:])
 
 	if *seed == refdata.Seed {
-		log.Fatal("seed equals the pinned reference seed; choose another (DESIGN.md §3.2)")
+		return cliutil.Usagef("seed equals the pinned reference seed; choose another (DESIGN.md §3.2)")
 	}
 
-	store := cliutil.OpenStore(*cacheDir)
+	store, err := cliutil.OpenStore(*cacheDir)
+	if err != nil {
+		return err
+	}
+
+	// Subcommands streaming per-run metrics share one sink set; closeOut
+	// is idempotent and deferred so a cancelled campaign still flushes
+	// the partial output the pipeline delivered.
+	openOut := func() ([]engine.Sink, func() error, error) { return cliutil.OpenOut(*out) }
 
 	switch cmd {
 	case "tss1":
-		runTzen(1, *msg)
+		return runTzen(ctx, 1, *msg)
 	case "tss2":
-		runTzen(2, *msg)
+		return runTzen(ctx, 2, *msg)
 	case "hagerup":
-		sinks, closeOut := cliutil.OpenOut(*out)
-		runHagerup(*n, *runs, *seed, false, *backend, *workers, store, sinks)
-		closeOut()
+		sinks, closeOut, err := openOut()
+		if err != nil {
+			return err
+		}
+		defer closeOut()
+		if _, err := runHagerup(ctx, *n, *runs, *seed, false, *backend, *workers, store, sinks); err != nil {
+			return err
+		}
+		return closeOut()
 	case "fig9":
-		sinks, closeOut := cliutil.OpenOut(*out)
-		runFig9(*runs, *seed, *backend, *workers, store, sinks)
-		closeOut()
+		sinks, closeOut, err := openOut()
+		if err != nil {
+			return err
+		}
+		defer closeOut()
+		if err := runFig9(ctx, *runs, *seed, *backend, *workers, store, sinks); err != nil {
+			return err
+		}
+		return closeOut()
 	case "tables":
-		printTables()
+		return printTables()
 	case "verify":
-		runVerify(*runs, *seed)
+		return runVerify(ctx, *runs, *seed)
 	case "extension":
-		runExtension(*runs, *seed, *backend, *workers, store)
+		return runExtension(ctx, *runs, *seed, *backend, *workers, store)
 	case "csv":
 		dir := *out
 		if dir == "" {
 			dir = "rawdata"
 		}
-		exportCSV(dir, *runs, *seed, *backend, *workers, store)
+		return exportCSV(ctx, dir, *runs, *seed, *backend, *workers, store)
 	case "spec":
 		if *specFile == "" {
-			log.Fatal("spec: -spec FILE is required")
+			return cliutil.Usagef("spec: -spec FILE is required")
 		}
-		sinks, closeOut := cliutil.OpenOut(*out)
-		cliutil.RunSpecFile(*specFile, *workers, store, sinks)
-		closeOut()
+		sinks, closeOut, err := openOut()
+		if err != nil {
+			return err
+		}
+		defer closeOut()
+		if err := cliutil.RunSpecFile(ctx, *specFile, *workers, store, sinks); err != nil {
+			return err
+		}
+		return closeOut()
 	case "all":
-		printTables()
-		runTzen(1, *msg)
-		runTzen(2, *msg)
-		for _, nn := range []int64{1024, 8192, 65536, 524288} {
-			runHagerup(nn, *runs, *seed, false, *backend, *workers, store, nil)
+		if err := printTables(); err != nil {
+			return err
 		}
-		runFig9(*runs, *seed, *backend, *workers, store, nil)
+		if err := runTzen(ctx, 1, *msg); err != nil {
+			return err
+		}
+		if err := runTzen(ctx, 2, *msg); err != nil {
+			return err
+		}
+		for _, nn := range []int64{1024, 8192, 65536, 524288} {
+			if _, err := runHagerup(ctx, nn, *runs, *seed, false, *backend, *workers, store, nil); err != nil {
+				return err
+			}
+		}
+		return runFig9(ctx, *runs, *seed, *backend, *workers, store, nil)
 	default:
 		usage()
-		os.Exit(2)
+		return cliutil.Usagef("unknown subcommand %q", cmd)
 	}
 }
 
@@ -127,13 +174,13 @@ func usage() {
 // runVerify runs the full verification-via-reproducibility pipeline
 // (internal/core) and prints one verdict per artifact, as the paper's
 // conclusion does: BOLD experiments reproduce, TSS experiments do not.
-func runVerify(runs int, seed uint64) {
+func runVerify(ctx context.Context, runs int, seed uint64) error {
 	fmt.Println("\n=== Verification via reproducibility (paper methodology, internal/core) ===")
 	fmt.Println()
 	for exp := 1; exp <= 2; exp++ {
-		report, err := core.VerifyTzen(exp)
+		report, err := core.VerifyTzen(ctx, exp)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(report.Summary())
 		for _, c := range report.Checks {
@@ -143,9 +190,9 @@ func runVerify(runs int, seed uint64) {
 	}
 	for _, n := range []int64{1024, 8192, 65536, 524288} {
 		log.Printf("verifying Hagerup grid n=%d (%d runs per cell)...", n, runs)
-		report, err := core.VerifyHagerup(n, runs, seed)
+		report, err := core.VerifyHagerup(ctx, n, runs, seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(report.Summary())
 		for _, c := range report.Checks {
@@ -164,12 +211,13 @@ func runVerify(runs int, seed uint64) {
 	fmt.Println("\nconclusion (as the paper's §VI): the BOLD-publication experiments")
 	fmt.Println("reproduce, verifying the DLS implementation; the TSS-publication")
 	fmt.Println("experiments do not (SS/GSS), for the systemic reasons given in §IV-A.")
+	return nil
 }
 
 // runExtension executes the paper's §VI future work: the TAP/WF/AWF*/AF
 // techniques on the Hagerup grid, plus the TSS publication's GSS(k) and
 // CSS(k) parameter sweeps.
-func runExtension(runs int, seed uint64, backend string, workers int, store cache.Store) {
+func runExtension(ctx context.Context, runs int, seed uint64, backend string, workers int, store cache.Store) error {
 	fmt.Println("\n=== Extension: future-work techniques (paper §VI) on the Hagerup grid ===")
 	spec := experiment.FutureWorkSpec(seed)
 	spec.Ns = []int64{8192}
@@ -178,9 +226,9 @@ func runExtension(runs int, seed uint64, backend string, workers int, store cach
 	spec.Workers = workers
 	spec.Cache = store
 	log.Printf("future-work grid: n=8192, %d runs per cell...", runs)
-	res, err := experiment.RunHagerup(spec)
+	res, err := experiment.RunHagerup(ctx, spec)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var tb ascii.Table
 	header := []string{"technique"}
@@ -193,7 +241,7 @@ func runExtension(runs int, seed uint64, backend string, workers int, store cach
 		for _, p := range spec.Ps {
 			c, err := res.Cell(tech, 8192, p)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			row = append(row, c.Wasted.Mean)
 		}
@@ -202,9 +250,9 @@ func runExtension(runs int, seed uint64, backend string, workers int, store cach
 	os.Stdout.WriteString(tb.String())
 
 	fmt.Println("\n=== Extension: GSS(k) sweep (TSS publication: k = 1, 2, 5, 10, 20, n/p) ===")
-	gss, err := experiment.GSSSweep(8192, 8, runs, 1, 0.5, seed)
+	gss, err := experiment.GSSSweep(ctx, 8192, 8, runs, 1, 0.5, seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var tb2 ascii.Table
 	tb2.AddRow("k", "mean wasted [s]", "mean sched ops")
@@ -214,9 +262,9 @@ func runExtension(runs int, seed uint64, backend string, workers int, store cach
 	os.Stdout.WriteString(tb2.String())
 
 	fmt.Println("\n=== Extension: CSS(k) chunk-size study (TSS publication, 100000 tasks, 72 PEs) ===")
-	css, err := experiment.CSSSweep(100000, 72, 110e-6, 5e-6, 200e-6)
+	css, err := experiment.CSSSweep(ctx, 100000, 72, 110e-6, 5e-6, 200e-6)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var tb3 ascii.Table
 	tb3.AddRow("k", "speedup (ideal 72)")
@@ -225,11 +273,12 @@ func runExtension(runs int, seed uint64, backend string, workers int, store cach
 	}
 	os.Stdout.WriteString(tb3.String())
 	fmt.Println("\nthe publication reports speedup 69.2 at k = n/p = 1388")
+	return nil
 }
 
 // runTzen reproduces Figure 3 or 4: the reference curves (panel a) and
 // the simulated curves (panel b).
-func runTzen(exp int, useMSG bool) {
+func runTzen(ctx context.Context, exp int, useMSG bool) error {
 	spec := experiment.TzenExperiment1()
 	figure := 3
 	if exp == 2 {
@@ -237,9 +286,9 @@ func runTzen(exp int, useMSG bool) {
 		figure = 4
 	}
 	spec.UseMSG = useMSG
-	res, err := experiment.RunTzen(spec)
+	res, err := experiment.RunTzen(ctx, spec)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Printf("\n=== Figure %da: values from the original publication [12] (%s) ===\n\n", figure, spec.Name)
@@ -280,6 +329,7 @@ func runTzen(exp int, useMSG bool) {
 	fmt.Println(ascii.Plot(ascii.PlotConfig{XLabel: "number PEs", YLabel: "Speedup"}, simSeries...))
 	fmt.Println(tb.String())
 	fmt.Println(tzenVerdict(exp, res))
+	return nil
 }
 
 // tzenVerdict states the paper's §IV-A conclusion for the experiment:
@@ -302,10 +352,10 @@ func tzenVerdict(exp int, res *experiment.TzenResult) string {
 
 // runHagerup reproduces one of Figures 5–8: panels (a) reference values,
 // (b) simulation values, (c) discrepancy, (d) relative discrepancy.
-func runHagerup(n int64, runs int, seed uint64, keepPerRun bool, backend string, workers int, store cache.Store, sinks []engine.Sink) *experiment.HagerupResult {
+func runHagerup(ctx context.Context, n int64, runs int, seed uint64, keepPerRun bool, backend string, workers int, store cache.Store, sinks []engine.Sink) (*experiment.HagerupResult, error) {
 	figure := map[int64]int{1024: 5, 8192: 6, 65536: 7, 524288: 8}[n]
 	if figure == 0 {
-		log.Fatalf("hagerup: n must be one of 1024, 8192, 65536, 524288 (Table III); got %d", n)
+		return nil, cliutil.Usagef("hagerup: n must be one of 1024, 8192, 65536, 524288 (Table III); got %d", n)
 	}
 	spec := experiment.HagerupGrid(seed)
 	spec.Ns = []int64{n}
@@ -316,19 +366,19 @@ func runHagerup(n int64, runs int, seed uint64, keepPerRun bool, backend string,
 	spec.Cache = store
 	spec.Sinks = sinks
 	log.Printf("Figure %d: %d tasks, %d runs per cell...", figure, n, runs)
-	res, err := experiment.RunHagerup(spec)
+	res, err := experiment.RunHagerup(ctx, spec)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 
 	ps := spec.Ps
 	fmt.Printf("\n=== Figure %da: %d tasks — values from original publication [14] (pinned reference) ===\n\n", figure, n)
-	printWastedTable(n, ps, func(tech string, p int) float64 {
+	printWastedTable(ps, func(tech string, p int) float64 {
 		v, _ := refdata.Wasted(tech, n, p)
 		return v
 	})
 	fmt.Printf("\n=== Figure %db: %d tasks — values from the present simulation ===\n\n", figure, n)
-	printWastedTable(n, ps, func(tech string, p int) float64 {
+	printWastedTable(ps, func(tech string, p int) float64 {
 		c, _ := res.Cell(tech, n, p)
 		return c.Wasted.Mean
 	})
@@ -349,14 +399,14 @@ func runHagerup(n int64, runs int, seed uint64, keepPerRun bool, backend string,
 	}, plotSeries...))
 
 	fmt.Printf("\n=== Figure %dc: discrepancy simulation - publication [s] ===\n\n", figure)
-	printWastedTable(n, ps, func(tech string, p int) float64 {
+	printWastedTable(ps, func(tech string, p int) float64 {
 		c, _ := res.Cell(tech, n, p)
 		ref, _ := refdata.Wasted(tech, n, p)
 		return metrics.Discrepancy(c.Wasted.Mean, ref)
 	})
 	fmt.Printf("\n=== Figure %dd: relative discrepancy [%%] ===\n\n", figure)
 	var maxRel float64
-	printWastedTable(n, ps, func(tech string, p int) float64 {
+	printWastedTable(ps, func(tech string, p int) float64 {
 		c, _ := res.Cell(tech, n, p)
 		ref, _ := refdata.Wasted(tech, n, p)
 		rd := metrics.RelativeDiscrepancy(c.Wasted.Mean, ref)
@@ -373,10 +423,10 @@ func runHagerup(n int64, runs int, seed uint64, keepPerRun bool, backend string,
 		return rd
 	})
 	fmt.Printf("max |relative discrepancy| excluding FAC/2-PE outlier: %.2f%%\n", maxRel)
-	return res
+	return res, nil
 }
 
-func printWastedTable(n int64, ps []int, value func(tech string, p int) float64) {
+func printWastedTable(ps []int, value func(tech string, p int) float64) {
 	var tb ascii.Table
 	header := []string{"technique"}
 	for _, p := range ps {
@@ -396,7 +446,7 @@ func printWastedTable(n int64, ps []int, value func(tech string, p int) float64)
 // runFig9 reproduces Figure 9: the average wasted time of each run of
 // FAC with 2 workers and 524,288 tasks, plus the outlier analysis of
 // §IV-B4.
-func runFig9(runs int, seed uint64, backend string, workers int, store cache.Store, sinks []engine.Sink) {
+func runFig9(ctx context.Context, runs int, seed uint64, backend string, workers int, store cache.Store, sinks []engine.Sink) error {
 	log.Printf("Figure 9: FAC, 2 PEs, 524288 tasks, %d runs...", runs)
 	spec := experiment.HagerupGrid(seed)
 	spec.Techniques = []string{"FAC"}
@@ -408,9 +458,9 @@ func runFig9(runs int, seed uint64, backend string, workers int, store cache.Sto
 	spec.Workers = workers
 	spec.Cache = store
 	spec.Sinks = sinks
-	res, err := experiment.RunHagerup(spec)
+	res, err := experiment.RunHagerup(ctx, spec)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	c, _ := res.Cell("FAC", 524288, 2)
 
@@ -431,11 +481,12 @@ func runFig9(runs int, seed uint64, backend string, workers int, store cache.Sto
 	fmt.Printf("runs above 400 s:             %d (%.2f%% of all runs; paper: 15 = 1.5%%)\n",
 		excluded, 100*float64(excluded)/float64(len(c.PerRun)))
 	fmt.Printf("mean excluding those runs:    %.4g s (paper: 25.82 s)\n", metrics.Mean(kept))
+	return nil
 }
 
 // printTables reproduces Tables II (required parameters) and III
 // (experiment overview).
-func printTables() {
+func printTables() error {
 	fmt.Println("\n=== Table II: required parameters for the DLS techniques ===")
 	fmt.Println()
 	params := []sched.Param{sched.ParamP, sched.ParamN, sched.ParamR, sched.ParamH,
@@ -449,7 +500,7 @@ func printTables() {
 	for _, tech := range []string{"STAT", "SS", "FSC", "GSS", "TSS", "FAC", "FAC2", "BOLD"} {
 		req, err := sched.Requirements(tech)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		set := map[sched.Param]bool{}
 		for _, r := range req {
@@ -478,24 +529,26 @@ func printTables() {
 	os.Stdout.WriteString(tb2.String())
 	fmt.Printf("\nper cell: %d runs, exponential task times (mu=%g s, sigma=%g s), h=%g s\n",
 		grid.Runs, grid.Mu, grid.Mu, grid.H)
+	return nil
 }
 
 // exportCSV writes the raw data of all experiments (paper §V).
-func exportCSV(dir string, runs int, seed uint64, backend string, workers int, store cache.Store) {
+func exportCSV(ctx context.Context, dir string, runs int, seed uint64, backend string, workers int, store cache.Store) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	write := func(name string, fn func(f *os.File) error) {
+	write := func(name string, fn func(f *os.File) error) error {
 		path := filepath.Join(dir, name)
 		f, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := fn(f); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("wrote %s", path)
+		return nil
 	}
 
 	spec := experiment.HagerupGrid(seed)
@@ -503,13 +556,15 @@ func exportCSV(dir string, runs int, seed uint64, backend string, workers int, s
 	spec.Backend = backend
 	spec.Workers = workers
 	spec.Cache = store
-	res, err := experiment.RunHagerup(spec)
+	res, err := experiment.RunHagerup(ctx, spec)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	write("hagerup_grid.csv", func(f *os.File) error {
+	if err := write("hagerup_grid.csv", func(f *os.File) error {
 		return experiment.WriteHagerupCSV(f, res)
-	})
+	}); err != nil {
+		return err
+	}
 
 	f9 := experiment.HagerupGrid(seed)
 	f9.Techniques = []string{"FAC"}
@@ -520,22 +575,27 @@ func exportCSV(dir string, runs int, seed uint64, backend string, workers int, s
 	f9.Backend = backend
 	f9.Workers = workers
 	f9.Cache = store
-	r9, err := experiment.RunHagerup(f9)
+	r9, err := experiment.RunHagerup(ctx, f9)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	c9, _ := r9.Cell("FAC", 524288, 2)
-	write("fig9_fac_per_run.csv", func(f *os.File) error {
+	if err := write("fig9_fac_per_run.csv", func(f *os.File) error {
 		return experiment.WritePerRunCSV(f, c9)
-	})
+	}); err != nil {
+		return err
+	}
 
 	for i, spec := range []experiment.TzenSpec{experiment.TzenExperiment1(), experiment.TzenExperiment2()} {
-		tres, err := experiment.RunTzen(spec)
+		tres, err := experiment.RunTzen(ctx, spec)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		write(fmt.Sprintf("tzen_experiment%d.csv", i+1), func(f *os.File) error {
+		if err := write(fmt.Sprintf("tzen_experiment%d.csv", i+1), func(f *os.File) error {
 			return experiment.WriteTzenCSV(f, tres)
-		})
+		}); err != nil {
+			return err
+		}
 	}
+	return nil
 }

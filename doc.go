@@ -21,6 +21,12 @@
 //   - internal/cache — the content-addressed result store behind
 //     repeated campaigns: results are keyed by the spec's canonical
 //     hash, and determinism makes equal hashes imply equal results
+//   - internal/jobs, internal/service, cmd/dlsimd — the campaign
+//     service: a bounded job queue with queued/running/done/failed/
+//     cancelled lifecycle states and singleflight deduplication on the
+//     spec hash (concurrent identical submissions share one
+//     execution), exposed over HTTP with status, cancellation and
+//     streaming JSONL/CSV result endpoints
 //   - internal/sim — the Hagerup-replica master–worker simulator (the
 //     "sim" backend)
 //   - internal/des, internal/msg, internal/platform — the SimGrid-MSG
@@ -44,6 +50,15 @@
 // campaign pipeline; results are bit-identical to a serial loop for a
 // given seed, and WithCache(dir) serves repeated campaigns from the
 // content-addressed result store without re-simulation.
+//
+// Execution is context-aware end to end: the Context variants
+// (SimulateContext, MeanWastedTimeContext, CompareContext) — and every
+// layer beneath them down to Backend.Run, the campaign worker pool,
+// Sinks and the cache — honor cancellation. Cancelling mid-campaign
+// stops scheduling new runs, drains the workers without goroutine
+// leaks, closes every sink exactly once and returns an error wrapping
+// context.Canceled. The plain entry points are equivalent to the
+// Context variants under context.Background().
 //
 // The benchmark harness regenerating every figure of the paper lives in
 // bench_test.go and cmd/repro; see DESIGN.md and EXPERIMENTS.md.

@@ -4,6 +4,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -25,7 +26,7 @@ func TestFigure5Shape(t *testing.T) {
 	spec := experiment.HagerupGrid(benchSeed)
 	spec.Ns = []int64{1024}
 	spec.Runs = 200
-	res, err := experiment.RunHagerup(spec)
+	res, err := experiment.RunHagerup(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestHagerupOrdering(t *testing.T) {
 	spec := experiment.HagerupGrid(benchSeed + 1)
 	spec.Ns = []int64{8192}
 	spec.Runs = 100
-	res, err := experiment.RunHagerup(spec)
+	res, err := experiment.RunHagerup(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestFigure9OutlierAnalysis(t *testing.T) {
 	spec.Ps = []int{2}
 	spec.Runs = 300
 	spec.KeepPerRun = true
-	res, err := experiment.RunHagerup(spec)
+	res, err := experiment.RunHagerup(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestFigures3And4Verdict(t *testing.T) {
 		1: experiment.TzenExperiment1(),
 		2: experiment.TzenExperiment2(),
 	} {
-		res, err := experiment.RunTzen(spec)
+		res, err := experiment.RunTzen(context.Background(), spec)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,12 +20,14 @@ import (
 
 // Store is a content-addressed blob store. Get reports a miss with
 // ok == false and no error; errors are reserved for real failures
-// (I/O, invalid keys).
+// (I/O, invalid keys, cancelled contexts). All methods take a context
+// so remote or slow stores can be abandoned mid-operation; the built-in
+// stores check it once before touching their medium.
 type Store interface {
 	// Get returns the blob stored under key, if any.
-	Get(key string) (data []byte, ok bool, err error)
+	Get(ctx context.Context, key string) (data []byte, ok bool, err error)
 	// Put stores the blob under key, overwriting any previous value.
-	Put(key string, data []byte) error
+	Put(ctx context.Context, key string, data []byte) error
 }
 
 // validKey reports whether key is usable as a content address across all
@@ -53,7 +56,10 @@ type Memory struct {
 func NewMemory() *Memory { return &Memory{m: make(map[string][]byte)} }
 
 // Get implements Store.
-func (s *Memory) Get(key string) ([]byte, bool, error) {
+func (s *Memory) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("cache: %w", err)
+	}
 	if err := validKey(key); err != nil {
 		return nil, false, err
 	}
@@ -69,7 +75,10 @@ func (s *Memory) Get(key string) ([]byte, bool, error) {
 }
 
 // Put implements Store. The blob is copied; callers may reuse data.
-func (s *Memory) Put(key string, data []byte) error {
+func (s *Memory) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
 	if err := validKey(key); err != nil {
 		return err
 	}
@@ -109,7 +118,10 @@ func (s *Disk) Dir() string { return s.dir }
 func (s *Disk) path(key string) string { return filepath.Join(s.dir, key+".json") }
 
 // Get implements Store.
-func (s *Disk) Get(key string) ([]byte, bool, error) {
+func (s *Disk) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("cache: %w", err)
+	}
 	if err := validKey(key); err != nil {
 		return nil, false, err
 	}
@@ -124,7 +136,10 @@ func (s *Disk) Get(key string) ([]byte, bool, error) {
 }
 
 // Put implements Store.
-func (s *Disk) Put(key string, data []byte) error {
+func (s *Disk) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
 	if err := validKey(key); err != nil {
 		return err
 	}
@@ -159,19 +174,22 @@ type Tiered struct {
 // NewTiered combines the given layers, fastest first.
 func NewTiered(layers ...Store) *Tiered { return &Tiered{layers: layers} }
 
-// Get implements Store.
-func (s *Tiered) Get(key string) ([]byte, bool, error) {
+// Get implements Store. A cancelled context stops the layer walk.
+func (s *Tiered) Get(ctx context.Context, key string) ([]byte, bool, error) {
 	if err := validKey(key); err != nil {
 		return nil, false, err
 	}
 	for i, layer := range s.layers {
-		data, ok, err := layer.Get(key)
+		if err := ctx.Err(); err != nil {
+			return nil, false, fmt.Errorf("cache: %w", err)
+		}
+		data, ok, err := layer.Get(ctx, key)
 		if err != nil || !ok {
 			continue
 		}
 		for j := 0; j < i; j++ {
 			// Best effort: a failed back-fill only costs future speed.
-			_ = s.layers[j].Put(key, data)
+			_ = s.layers[j].Put(ctx, key, data)
 		}
 		return data, true, nil
 	}
@@ -180,10 +198,10 @@ func (s *Tiered) Get(key string) ([]byte, bool, error) {
 
 // Put implements Store. The first layer error is returned, but all
 // layers are attempted.
-func (s *Tiered) Put(key string, data []byte) error {
+func (s *Tiered) Put(ctx context.Context, key string, data []byte) error {
 	var firstErr error
 	for _, layer := range s.layers {
-		if err := layer.Put(key, data); err != nil && firstErr == nil {
+		if err := layer.Put(ctx, key, data); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,22 +13,26 @@ import (
 
 const key = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
 
+// ctx is the background context every store call in these tests uses;
+// cancellation behavior has its own test below.
+var ctx = context.Background()
+
 func TestMemoryPutGet(t *testing.T) {
 	s := NewMemory()
-	if _, ok, err := s.Get(key); err != nil || ok {
+	if _, ok, err := s.Get(ctx, key); err != nil || ok {
 		t.Fatalf("empty store Get = ok=%v err=%v", ok, err)
 	}
-	if err := s.Put(key, []byte("hello")); err != nil {
+	if err := s.Put(ctx, key, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	data, ok, err := s.Get(key)
+	data, ok, err := s.Get(ctx, key)
 	if err != nil || !ok || string(data) != "hello" {
 		t.Fatalf("Get = %q ok=%v err=%v", data, ok, err)
 	}
-	if err := s.Put(key, []byte("world")); err != nil {
+	if err := s.Put(ctx, key, []byte("world")); err != nil {
 		t.Fatal(err)
 	}
-	if data, _, _ := s.Get(key); string(data) != "world" {
+	if data, _, _ := s.Get(ctx, key); string(data) != "world" {
 		t.Fatalf("overwrite lost: %q", data)
 	}
 	if s.Len() != 1 {
@@ -40,16 +45,16 @@ func TestMemoryPutGet(t *testing.T) {
 func TestMemoryIsolatesCallers(t *testing.T) {
 	s := NewMemory()
 	in := []byte("abc")
-	if err := s.Put(key, in); err != nil {
+	if err := s.Put(ctx, key, in); err != nil {
 		t.Fatal(err)
 	}
 	in[0] = 'X'
-	out, _, _ := s.Get(key)
+	out, _, _ := s.Get(ctx, key)
 	if string(out) != "abc" {
 		t.Fatalf("Put did not copy: %q", out)
 	}
 	out[0] = 'Y'
-	again, _, _ := s.Get(key)
+	again, _, _ := s.Get(ctx, key)
 	if string(again) != "abc" {
 		t.Fatalf("Get did not copy: %q", again)
 	}
@@ -64,10 +69,10 @@ func TestInvalidKeysRejected(t *testing.T) {
 	stores["disk"] = disk
 	for name, s := range stores {
 		for _, bad := range []string{"", "xyz", "../escape", "a/b", "ABC-DEF"} {
-			if err := s.Put(bad, []byte("x")); err == nil {
+			if err := s.Put(ctx, bad, []byte("x")); err == nil {
 				t.Errorf("%s: Put accepted key %q", name, bad)
 			}
-			if _, _, err := s.Get(bad); err == nil {
+			if _, _, err := s.Get(ctx, bad); err == nil {
 				t.Errorf("%s: Get accepted key %q", name, bad)
 			}
 		}
@@ -80,14 +85,14 @@ func TestDiskPersistsAcrossOpens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.Put(key, []byte("durable")); err != nil {
+	if err := s1.Put(ctx, key, []byte("durable")); err != nil {
 		t.Fatal(err)
 	}
 	s2, err := NewDisk(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, ok, err := s2.Get(key)
+	data, ok, err := s2.Get(ctx, key)
 	if err != nil || !ok || string(data) != "durable" {
 		t.Fatalf("reopened Get = %q ok=%v err=%v", data, ok, err)
 	}
@@ -105,7 +110,7 @@ func TestDiskLeavesNoTempFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if err := s.Put(key, bytes.Repeat([]byte{'a'}, 1024)); err != nil {
+		if err := s.Put(ctx, key, bytes.Repeat([]byte{'a'}, 1024)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -133,7 +138,7 @@ func TestDiskMiss(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a blob"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := s.Get(key); err != nil || ok {
+	if _, ok, err := s.Get(ctx, key); err != nil || ok {
 		t.Fatalf("miss = ok=%v err=%v", ok, err)
 	}
 }
@@ -148,13 +153,13 @@ func TestDiskConcurrentSameKey(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := s.Put(key, []byte(strings.Repeat("v", 100))); err != nil {
+			if err := s.Put(ctx, key, []byte(strings.Repeat("v", 100))); err != nil {
 				t.Error(err)
 			}
 		}(i)
 	}
 	wg.Wait()
-	data, ok, err := s.Get(key)
+	data, ok, err := s.Get(ctx, key)
 	if err != nil || !ok || len(data) != 100 {
 		t.Fatalf("Get after concurrent Put = %d bytes ok=%v err=%v", len(data), ok, err)
 	}
@@ -164,29 +169,29 @@ func TestTieredBackfill(t *testing.T) {
 	fast, slow := NewMemory(), NewMemory()
 	tiered := NewTiered(fast, slow)
 
-	if err := slow.Put(key, []byte("cold")); err != nil {
+	if err := slow.Put(ctx, key, []byte("cold")); err != nil {
 		t.Fatal(err)
 	}
 	if fast.Len() != 0 {
 		t.Fatal("fast layer pre-populated")
 	}
-	data, ok, err := tiered.Get(key)
+	data, ok, err := tiered.Get(ctx, key)
 	if err != nil || !ok || string(data) != "cold" {
 		t.Fatalf("tiered Get = %q ok=%v err=%v", data, ok, err)
 	}
 	// The hit must have back-filled the fast layer.
-	if got, ok, _ := fast.Get(key); !ok || string(got) != "cold" {
+	if got, ok, _ := fast.Get(ctx, key); !ok || string(got) != "cold" {
 		t.Fatalf("fast layer not back-filled: %q ok=%v", got, ok)
 	}
 }
 
 func TestTieredPutWritesThrough(t *testing.T) {
 	fast, slow := NewMemory(), NewMemory()
-	if err := NewTiered(fast, slow).Put(key, []byte("v")); err != nil {
+	if err := NewTiered(fast, slow).Put(ctx, key, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	for name, layer := range map[string]*Memory{"fast": fast, "slow": slow} {
-		if _, ok, _ := layer.Get(key); !ok {
+		if _, ok, _ := layer.Get(ctx, key); !ok {
 			t.Errorf("%s layer missing after write-through Put", name)
 		}
 	}
@@ -195,31 +200,33 @@ func TestTieredPutWritesThrough(t *testing.T) {
 // failingStore errors on every operation — the corrupt-fast-layer case.
 type failingStore struct{}
 
-func (failingStore) Get(string) ([]byte, bool, error) { return nil, false, fmt.Errorf("broken") }
-func (failingStore) Put(string, []byte) error         { return fmt.Errorf("broken") }
+func (failingStore) Get(context.Context, string) ([]byte, bool, error) {
+	return nil, false, fmt.Errorf("broken")
+}
+func (failingStore) Put(context.Context, string, []byte) error { return fmt.Errorf("broken") }
 
 func TestTieredFailingLayerIsMiss(t *testing.T) {
 	healthy := NewMemory()
-	if err := healthy.Put(key, []byte("ok")); err != nil {
+	if err := healthy.Put(ctx, key, []byte("ok")); err != nil {
 		t.Fatal(err)
 	}
 	tiered := NewTiered(failingStore{}, healthy)
-	data, ok, err := tiered.Get(key)
+	data, ok, err := tiered.Get(ctx, key)
 	if err != nil || !ok || string(data) != "ok" {
 		t.Fatalf("Get through broken layer = %q ok=%v err=%v", data, ok, err)
 	}
 	// Put reports the layer error but still writes the healthy layers.
 	other := "fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210"
-	if err := tiered.Put(other, []byte("x")); err == nil {
+	if err := tiered.Put(ctx, other, []byte("x")); err == nil {
 		t.Fatal("failing layer error not reported")
 	}
-	if _, ok, _ := healthy.Get(other); !ok {
+	if _, ok, _ := healthy.Get(ctx, other); !ok {
 		t.Fatal("healthy layer skipped after failing layer")
 	}
 }
 
 func TestTieredEmptyIsAlwaysMiss(t *testing.T) {
-	if _, ok, err := NewTiered().Get(key); err != nil || ok {
+	if _, ok, err := NewTiered().Get(ctx, key); err != nil || ok {
 		t.Fatalf("empty tiered Get = ok=%v err=%v", ok, err)
 	}
 }

@@ -1,42 +1,105 @@
-// Package cliutil holds the flag-handling helpers the dlsim and repro
-// commands share: opening the content-addressed result cache, building
-// streaming per-run sinks for -out, and executing a declarative campaign
-// spec file. Functions exit through log.Fatal on error, as CLI setup
-// code does; the package is for main packages only.
+// Package cliutil holds the behavior the dlsim, repro and dlsimd
+// commands share: process exit-code policy, signal-driven cancellation
+// contexts, opening the content-addressed result cache, building
+// streaming per-run sinks for -out, and executing a declarative
+// campaign spec file. Helpers return errors; commands route them
+// through Exit/ExitCode so every binary reports failures consistently:
+// usage errors exit 2, runtime failures exit 1, and interrupted runs
+// exit 130 (128 + SIGINT), with partial streaming output flushed by the
+// engine's sink-closing guarantees.
 package cliutil
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/ascii"
 	"repro/internal/cache"
 	"repro/internal/engine"
 )
 
-// OpenStore opens the on-disk result cache rooted at dir, or returns nil
-// when no cache was requested.
-func OpenStore(dir string) cache.Store {
-	if dir == "" {
-		return nil
-	}
-	disk, err := cache.NewDisk(dir)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return disk
+// Exit codes shared by all commands.
+const (
+	ExitOK        = 0   // success
+	ExitFailure   = 1   // runtime failure (simulation, I/O, service errors)
+	ExitUsage     = 2   // bad flags, arguments or spec files
+	ExitCancelled = 130 // interrupted by SIGINT/SIGTERM (128 + SIGINT)
+)
+
+// UsageError marks an error caused by how the command was invoked
+// (unknown subcommand, missing required flag, malformed argument), as
+// opposed to a failure while doing the requested work.
+type UsageError struct{ Msg string }
+
+func (e *UsageError) Error() string { return e.Msg }
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Msg: fmt.Sprintf(format, args...)}
 }
 
-// OpenOut builds the streaming per-run sink for an -out flag: a CSV sink
-// by default, JSON Lines for a .jsonl/.json suffix, stdout for "-". The
-// returned close function flushes and closes the underlying file; it is
-// safe to call when no sink was requested.
-func OpenOut(path string) ([]engine.Sink, func()) {
+// ExitCode maps an error to the command's exit code: nil → ExitOK,
+// usage errors → ExitUsage, cancellation (a wrapped context.Canceled or
+// DeadlineExceeded, e.g. after Ctrl-C) → ExitCancelled, anything else →
+// ExitFailure.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.As(err, new(*UsageError)):
+		return ExitUsage
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return ExitCancelled
+	default:
+		return ExitFailure
+	}
+}
+
+// Exit logs err (when non-nil) and terminates the process with the
+// matching exit code. Call it only after all deferred cleanup has run —
+// os.Exit skips defers.
+func Exit(err error) {
+	if err != nil {
+		log.Print(err)
+	}
+	os.Exit(ExitCode(err))
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM, so a
+// Ctrl-C (or an orchestrator's termination signal) cancels in-flight
+// campaigns through the engine's context plumbing instead of killing
+// the process mid-write. The stop function releases the signal handler;
+// a second signal while stopping falls back to the Go runtime's default
+// (immediate) termination.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// OpenStore opens the on-disk result cache rooted at dir, or returns a
+// nil store when no cache was requested.
+func OpenStore(dir string) (cache.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return cache.NewDisk(dir)
+}
+
+// OpenOut builds the streaming per-run sink for an -out flag: a CSV
+// sink by default, JSON Lines for a .jsonl/.json suffix, stdout for
+// "-". The returned close function is idempotent and safe to defer; it
+// flushes and closes the underlying file so partial output survives a
+// cancelled campaign.
+func OpenOut(path string) ([]engine.Sink, func() error, error) {
 	if path == "" {
-		return nil, func() {}
+		return nil, func() error { return nil }, nil
 	}
 	var (
 		w io.Writer = os.Stdout
@@ -46,7 +109,7 @@ func OpenOut(path string) ([]engine.Sink, func()) {
 		var err error
 		f, err = os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			return nil, nil, err
 		}
 		w = f
 	}
@@ -56,35 +119,43 @@ func OpenOut(path string) ([]engine.Sink, func()) {
 	} else {
 		sink = engine.NewCSVSink(w)
 	}
-	return []engine.Sink{sink}, func() {
-		if f == nil {
-			return
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("wrote per-run metrics to %s", path)
+	var once sync.Once
+	closeOut := func() error {
+		var err error
+		once.Do(func() {
+			if f == nil {
+				return
+			}
+			if err = f.Close(); err != nil {
+				return
+			}
+			log.Printf("wrote per-run metrics to %s", path)
+		})
+		return err
 	}
+	return []engine.Sink{sink}, closeOut, nil
 }
 
 // RunSpecFile executes the declarative campaign spec in the given JSON
-// file and prints one aggregate row per grid point.
-func RunSpecFile(path string, workers int, store cache.Store, sinks []engine.Sink) {
+// file and prints one aggregate row per grid point. An unreadable or
+// invalid spec file is a usage error; cancelling ctx aborts the
+// campaign with a cancellation error.
+func RunSpecFile(ctx context.Context, path string, workers int, store cache.Store, sinks []engine.Sink) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		log.Fatal(err)
+		return Usagef("spec: %v", err)
 	}
 	spec, err := engine.ParseSpec(data)
 	if err != nil {
-		log.Fatal(err)
+		return Usagef("spec %s: %v", path, err)
 	}
 	hash, err := spec.Hash()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	res, err := spec.Execute(engine.ExecConfig{Workers: workers, Cache: store, Sinks: sinks})
+	res, err := spec.Execute(ctx, engine.ExecConfig{Workers: workers, Cache: store, Sinks: sinks})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("campaign %s: %d points × %d replications (backend %s)\n\n",
 		hash[:12], len(res.Aggregates), spec.Replications, spec.Normalize().Backend)
@@ -99,4 +170,5 @@ func RunSpecFile(path string, workers int, store cache.Store, sinks []engine.Sin
 	o := res.Overall
 	fmt.Printf("\noverall wasted time across %d runs: mean %.6g s, std %.6g s, range [%.6g, %.6g] s\n",
 		o.N(), o.Mean(), o.Std(), o.Min(), o.Max())
+	return nil
 }

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -112,14 +113,15 @@ func ExcludeFACOutlier(tech string, p int) bool {
 // VerifyHagerup runs one task-count slice of the Hagerup grid and judges
 // it against the pinned reference dataset. runs and seed parameterize
 // the fresh simulation (the reference was generated under refdata.Seed).
-func VerifyHagerup(n int64, runs int, seed uint64) (*Report, error) {
+// Cancelling ctx aborts the verification mid-grid.
+func VerifyHagerup(ctx context.Context, n int64, runs int, seed uint64) (*Report, error) {
 	if seed == refdata.Seed {
 		return nil, fmt.Errorf("core: seed %#x equals the reference seed; verification requires an independent sample", seed)
 	}
 	spec := experiment.HagerupGrid(seed)
 	spec.Ns = []int64{n}
 	spec.Runs = runs
-	res, err := experiment.RunHagerup(spec)
+	res, err := experiment.RunHagerup(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +174,7 @@ const TzenTolerancePct = 25
 // curve at the largest PE count against the digitized reference. The
 // paper's own result — SS (and GSS in the original) diverging — is an
 // expected Diverged verdict, not an error.
-func VerifyTzen(exp int) (*Report, error) {
+func VerifyTzen(ctx context.Context, exp int) (*Report, error) {
 	var spec experiment.TzenSpec
 	switch exp {
 	case 1:
@@ -182,7 +184,7 @@ func VerifyTzen(exp int) (*Report, error) {
 	default:
 		return nil, fmt.Errorf("core: Tzen experiment must be 1 or 2, got %d", exp)
 	}
-	res, err := experiment.RunTzen(spec)
+	res, err := experiment.RunTzen(ctx, spec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestVerdictString(t *testing.T) {
 // TestVerifyHagerupReproduces runs the methodology end to end on the
 // 1024-task slice and expects the paper's successful verdict.
 func TestVerifyHagerupReproduces(t *testing.T) {
-	report, err := VerifyHagerup(1024, 150, 777)
+	report, err := VerifyHagerup(context.Background(), 1024, 150, 777)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,13 +56,13 @@ func TestVerifyHagerupReproduces(t *testing.T) {
 }
 
 func TestVerifyHagerupRejectsReferenceSeed(t *testing.T) {
-	if _, err := VerifyHagerup(1024, 10, refdata.Seed); err == nil {
+	if _, err := VerifyHagerup(context.Background(), 1024, 10, refdata.Seed); err == nil {
 		t.Fatal("verification against its own reference seed accepted")
 	}
 }
 
 func TestVerifyHagerupUnknownN(t *testing.T) {
-	if _, err := VerifyHagerup(999, 5, 1); err == nil {
+	if _, err := VerifyHagerup(context.Background(), 999, 5, 1); err == nil {
 		t.Fatal("n without reference data accepted")
 	}
 }
@@ -70,7 +71,7 @@ func TestVerifyHagerupUnknownN(t *testing.T) {
 // methodology API: experiment 1 as a whole DIVERGES (because of SS),
 // while CSS and TSS individually reproduce.
 func TestVerifyTzenVerdicts(t *testing.T) {
-	report, err := VerifyTzen(1)
+	report, err := VerifyTzen(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestVerifyTzenVerdicts(t *testing.T) {
 }
 
 func TestVerifyTzenBadExperiment(t *testing.T) {
-	if _, err := VerifyTzen(3); err == nil {
+	if _, err := VerifyTzen(context.Background(), 3); err == nil {
 		t.Fatal("experiment 3 accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/des"
@@ -19,7 +20,10 @@ func init() { Register(desBackend{}) }
 
 func (desBackend) Name() string { return "des" }
 
-func (desBackend) Run(spec RunSpec) (*RunResult, error) {
+func (desBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/msg"
@@ -33,7 +34,10 @@ func init() { Register(msgBackend{}) }
 
 func (msgBackend) Name() string { return "msg" }
 
-func (msgBackend) Run(spec RunSpec) (*RunResult, error) {
+func (msgBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,10 @@
 package engine
 
-import "repro/internal/sim"
+import (
+	"context"
+
+	"repro/internal/sim"
+)
 
 // simBackend adapts the chunk-granularity Hagerup-replica simulator
 // (internal/sim) — the fast path every figure of the paper is produced
@@ -11,7 +15,10 @@ func init() { Register(simBackend{}) }
 
 func (simBackend) Name() string { return "sim" }
 
-func (simBackend) Run(spec RunSpec) (*RunResult, error) {
+func (simBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
@@ -77,17 +79,18 @@ type CampaignResult struct {
 // view over Stream: an aggregating sink consumes the ordered event
 // stream, so the aggregates are bit-identical to what any other sink
 // arrangement observes. The first run error aborts the remaining grid
-// and is returned.
-func (c Campaign) Run() (*CampaignResult, error) {
-	return c.RunWith()
+// and is returned; cancelling ctx aborts it with an error wrapping
+// ctx.Err().
+func (c Campaign) Run(ctx context.Context) (*CampaignResult, error) {
+	return c.RunWith(ctx)
 }
 
 // RunWith executes the campaign like Run while additionally streaming
 // every run event to the given sinks (e.g. a CSV writer exporting raw
 // per-run data alongside the aggregation).
-func (c Campaign) RunWith(sinks ...Sink) (*CampaignResult, error) {
+func (c Campaign) RunWith(ctx context.Context, sinks ...Sink) (*CampaignResult, error) {
 	agg := newAggregateSink(c.Points, c.Replications, c.KeepRuns, c.KeepRuns)
-	if err := c.Stream(append([]Sink{agg}, sinks...)...); err != nil {
+	if err := c.Stream(ctx, append([]Sink{agg}, sinks...)...); err != nil {
 		return nil, err
 	}
 	return &CampaignResult{Aggregates: agg.Aggregates(), Overall: agg.Overall()}, nil

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -32,7 +33,7 @@ func TestCampaignDeterminism(t *testing.T) {
 			Replications: 50,
 			Workers:      workers,
 			KeepRuns:     true,
-		}.Run()
+		}.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +77,7 @@ func TestCampaignMatchesSerialBackendLoop(t *testing.T) {
 	for r := 0; r < runs; r++ {
 		spec := point
 		spec.RNGState = rng.RunSeed(base, r)
-		res, err := be.Run(spec)
+		res, err := be.Run(context.Background(), spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func TestCampaignMatchesSerialBackendLoop(t *testing.T) {
 	got, err := Campaign{
 		Points:       []RunSpec{point},
 		Replications: runs,
-	}.Run()
+	}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestCampaignMultiPoint(t *testing.T) {
 		{Technique: "STAT", N: 512, P: 4, Work: workload.NewConstant(0.01)},
 		{Technique: "SS", N: 512, P: 4, Work: workload.NewConstant(0.01), H: 0.5},
 	}
-	res, err := Campaign{Points: points, Replications: 3}.Run()
+	res, err := Campaign{Points: points, Replications: 3}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestCampaignKeepRuns(t *testing.T) {
 		Points:       []RunSpec{testPoint(3)},
 		Replications: 5,
 		KeepRuns:     true,
-	}.Run()
+	}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,22 +147,22 @@ func TestCampaignErrors(t *testing.T) {
 
 	c := good
 	c.Points = nil
-	if _, err := c.Run(); err == nil {
+	if _, err := c.Run(context.Background()); err == nil {
 		t.Error("empty campaign accepted")
 	}
 	c = good
 	c.Replications = 0
-	if _, err := c.Run(); err == nil {
+	if _, err := c.Run(context.Background()); err == nil {
 		t.Error("Replications=0 accepted")
 	}
 	c = good
 	c.Backend = "nope"
-	if _, err := c.Run(); err == nil {
+	if _, err := c.Run(context.Background()); err == nil {
 		t.Error("unknown backend accepted")
 	}
 	c = good
 	c.Points = []RunSpec{{Technique: "FAC2", N: 0, P: 2, Work: workload.NewConstant(1)}}
-	if _, err := c.Run(); err == nil {
+	if _, err := c.Run(context.Background()); err == nil {
 		t.Error("invalid point accepted")
 	}
 	// A failing run (unknown technique surfaces from the backend) must
@@ -169,7 +170,7 @@ func TestCampaignErrors(t *testing.T) {
 	c = good
 	c.Points = []RunSpec{{Technique: "LIFO", N: 16, P: 2, Work: workload.NewConstant(1)}}
 	c.Replications = 100
-	if _, err := c.Run(); err == nil {
+	if _, err := c.Run(context.Background()); err == nil {
 		t.Error("backend error not propagated")
 	}
 }

@@ -20,6 +20,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -124,7 +125,11 @@ type Backend interface {
 	// Name returns the registered backend name (e.g. "sim", "msg").
 	Name() string
 	// Run executes the spec to completion and returns its timing results.
-	Run(spec RunSpec) (*RunResult, error)
+	// Implementations must return promptly with ctx.Err() when the
+	// context is cancelled before the run starts; honoring cancellation
+	// mid-run is optional (the built-in simulators complete the run),
+	// so campaign-level cancellation has run granularity.
+	Run(ctx context.Context, spec RunSpec) (*RunResult, error)
 }
 
 var (

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -99,7 +100,7 @@ func TestCrossBackendEquivalence(t *testing.T) {
 		},
 	}
 	for label, spec := range specs {
-		ref, err := simBackend{}.Run(spec)
+		ref, err := simBackend{}.Run(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("%s: sim: %v", label, err)
 		}
@@ -108,7 +109,7 @@ func TestCrossBackendEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := be.Run(spec)
+			res, err := be.Run(context.Background(), spec)
 			if err != nil {
 				t.Fatalf("%s: %s: %v", label, name, err)
 			}
@@ -147,13 +148,13 @@ func TestDesBackendFullSurface(t *testing.T) {
 	var simEvents, desEvents int
 	simSpec := spec
 	simSpec.Observe = func(int, int64, int64, float64, float64) { simEvents++ }
-	ref, err := simBackend{}.Run(simSpec)
+	ref, err := simBackend{}.Run(context.Background(), simSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	desSpec := spec
 	desSpec.Observe = func(int, int64, int64, float64, float64) { desEvents++ }
-	res, err := desBackend{}.Run(desSpec)
+	res, err := desBackend{}.Run(context.Background(), desSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,24 +179,26 @@ func TestMsgBackendRejectsUnsupported(t *testing.T) {
 	base := RunSpec{Technique: "FAC2", N: 64, P: 2, Work: workload.NewConstant(0.01)}
 	withStarts := base
 	withStarts.StartTimes = []float64{0, 1}
-	if _, err := (msgBackend{}).Run(withStarts); err == nil {
+	if _, err := (msgBackend{}).Run(context.Background(), withStarts); err == nil {
 		t.Error("msg backend accepted start times")
 	}
 	withObserve := base
 	withObserve.Observe = func(int, int64, int64, float64, float64) {}
-	if _, err := (msgBackend{}).Run(withObserve); err == nil {
+	if _, err := (msgBackend{}).Run(context.Background(), withObserve); err == nil {
 		t.Error("msg backend accepted an observer")
 	}
 }
 
 func TestBackendUnknownTechnique(t *testing.T) {
 	spec := RunSpec{Technique: "LIFO", N: 64, P: 2, Work: workload.NewConstant(0.01)}
-	for _, name := range Names() {
+	// The real simulator backends only — other tests register
+	// instrumented backends (blocking, counting) that skip validation.
+	for _, name := range []string{"sim", "des", "msg"} {
 		be, err := New(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := be.Run(spec); err == nil {
+		if _, err := be.Run(context.Background(), spec); err == nil {
 			t.Errorf("%s accepted unknown technique", name)
 		}
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -48,8 +49,14 @@ const cacheFormatVersion = 1
 // Execute runs the campaign described by the spec, streaming per-run
 // events to cfg.Sinks and returning the per-point aggregates. With a
 // cache configured, a repeated spec (same hash) is served entirely from
-// the cache.
-func (s CampaignSpec) Execute(cfg ExecConfig) (*CampaignResult, error) {
+// the cache. Cancelling ctx aborts the execution (live or replayed)
+// with an error wrapping ctx.Err(); no further backend runs are
+// performed after cancellation is observed and every sink is closed
+// exactly once.
+func (s CampaignSpec) Execute(ctx context.Context, cfg ExecConfig) (*CampaignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// Returns before Stream or replay run must still close cfg.Sinks —
 	// the Sink contract is one Close call on every path.
 	closeSinks := func(first error) error {
@@ -71,11 +78,11 @@ func (s CampaignSpec) Execute(cfg ExecConfig) (*CampaignResult, error) {
 		if err != nil {
 			return nil, closeSinks(err)
 		}
-		if data, ok, err := cfg.Cache.Get(key); err != nil {
+		if data, ok, err := cfg.Cache.Get(ctx, key); err != nil {
 			return nil, closeSinks(err)
 		} else if ok {
 			if cc, ok := decodeCached(data, key, len(points), s.Replications); ok {
-				return s.replay(points, cc, cfg)
+				return s.replay(ctx, points, cc, cfg)
 			}
 			// Undecodable or mismatched entry: fall through to a live
 			// run, which overwrites it.
@@ -95,7 +102,7 @@ func (s CampaignSpec) Execute(cfg ExecConfig) (*CampaignResult, error) {
 	// are needed for the median, the optional PerRun export and the
 	// cache entry.
 	agg := newAggregateSink(points, s.Replications, cfg.KeepPerRun, false)
-	if err := c.Stream(append([]Sink{agg}, cfg.Sinks...)...); err != nil {
+	if err := c.Stream(ctx, append([]Sink{agg}, cfg.Sinks...)...); err != nil {
 		return nil, err
 	}
 	if cfg.Cache != nil {
@@ -106,7 +113,7 @@ func (s CampaignSpec) Execute(cfg ExecConfig) (*CampaignResult, error) {
 			Replications: s.Replications,
 			PerRun:       agg.perRun,
 		}); err == nil {
-			_ = cfg.Cache.Put(key, data) // best effort
+			_ = cfg.Cache.Put(ctx, key, data) // best effort
 		}
 	}
 	return &CampaignResult{Aggregates: agg.Aggregates(), Overall: agg.Overall()}, nil
@@ -135,9 +142,9 @@ func decodeCached(data []byte, key string, points, reps int) (cachedCampaign, bo
 // replay reconstructs the campaign result from a validated cache entry,
 // feeding the stored per-run metrics through the sinks and the
 // aggregation in the same (point, replication) order a live execution
-// would — zero backend runs. A sink error aborts the replay and is
-// returned, mirroring Stream.
-func (s CampaignSpec) replay(points []RunSpec, cc cachedCampaign, cfg ExecConfig) (*CampaignResult, error) {
+// would — zero backend runs. A sink error or context cancellation
+// aborts the replay and is returned, mirroring Stream.
+func (s CampaignSpec) replay(ctx context.Context, points []RunSpec, cc cachedCampaign, cfg ExecConfig) (*CampaignResult, error) {
 	seedFor := s.seedFunc(points)
 	agg := newAggregateSink(points, s.Replications, cfg.KeepPerRun, false)
 	sinks := append([]Sink{agg}, cfg.Sinks...)
@@ -145,11 +152,15 @@ func (s CampaignSpec) replay(points []RunSpec, cc cachedCampaign, cfg ExecConfig
 feed:
 	for pi := range points {
 		for rep := 0; rep < s.Replications; rep++ {
+			if err := ctx.Err(); err != nil {
+				sinkErr = fmt.Errorf("engine: campaign: %w", err)
+				break feed
+			}
 			spec := points[pi]
 			spec.RNGState = seedFor(pi, rep)
 			ev := Event{Point: pi, Rep: rep, Spec: spec, Metrics: cc.PerRun[pi][rep]}
 			for _, sk := range sinks {
-				if err := sk.Consume(ev); err != nil {
+				if err := sk.Consume(ctx, ev); err != nil {
 					sinkErr = fmt.Errorf("engine: sink: %w", err)
 					break feed
 				}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,10 +33,13 @@ type Event struct {
 
 // Sink consumes the ordered stream of run events. The pipeline invokes
 // Consume from a single goroutine, so implementations need no locking.
-// A Consume error aborts the campaign. Close flushes the sink after the
-// final event (or after an abort) and is called exactly once.
+// A Consume error aborts the campaign; ctx is the campaign's (or the
+// replaying request's) context, so sinks streaming to slow or remote
+// destinations can abandon work when the consumer goes away. Close
+// flushes the sink after the final event (or after an abort) and is
+// called exactly once.
 type Sink interface {
-	Consume(Event) error
+	Consume(ctx context.Context, ev Event) error
 	Close() error
 }
 
@@ -46,7 +50,17 @@ type Sink interface {
 // sinks observe the exact event sequence a serial execution would
 // produce. All sinks are closed before Stream returns; the first run or
 // sink error aborts the remaining grid and is returned.
-func (c Campaign) Stream(sinks ...Sink) error {
+//
+// Cancelling ctx aborts the campaign: no further backend runs are
+// scheduled once cancellation is observed, the worker pool drains
+// without leaking goroutines, every sink is still closed exactly once,
+// and the returned error wraps ctx.Err() (errors.Is(err,
+// context.Canceled) holds). Events already dispatched before the
+// cancellation form a prefix of the deterministic global order.
+func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// closeAll flushes every sink exactly once, on success and on every
 	// error path alike, preserving the first error.
 	closeAll := func(first error) error {
@@ -56,6 +70,9 @@ func (c Campaign) Stream(sinks ...Sink) error {
 			}
 		}
 		return first
+	}
+	if err := ctx.Err(); err != nil {
+		return closeAll(fmt.Errorf("engine: campaign: %w", err))
 	}
 	if len(c.Points) == 0 {
 		return closeAll(fmt.Errorf("engine: campaign has no points"))
@@ -117,6 +134,21 @@ func (c Campaign) Stream(sinks ...Sink) error {
 		outMu.Unlock()
 	}
 
+	// The watcher translates context cancellation into the pipeline's
+	// failure protocol: failed stops workers from claiming further runs
+	// and the broadcast releases any worker parked on the reorder window.
+	watchDone := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		select {
+		case <-ctx.Done():
+			fail(fmt.Errorf("engine: campaign: %w", ctx.Err()))
+		case <-watchDone:
+		}
+	}()
+
 	events := make(chan Event, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -138,7 +170,7 @@ func (c Campaign) Stream(sinks ...Sink) error {
 				pi, rep := int(j)/reps, int(j)%reps
 				spec := c.Points[pi]
 				spec.RNGState = seedFor(pi, rep)
-				res, err := be.Run(spec)
+				res, err := be.Run(ctx, spec)
 				if err != nil {
 					fail(fmt.Errorf("engine: point %d replication %d: %w", pi, rep, err))
 					return
@@ -177,14 +209,17 @@ func (c Campaign) Stream(sinks ...Sink) error {
 				continue // drain without dispatching after an abort
 			}
 			for _, s := range sinks {
-				if err := s.Consume(out); err != nil {
+				if err := s.Consume(ctx, out); err != nil {
 					fail(fmt.Errorf("engine: sink: %w", err))
 					break
 				}
 			}
 		}
 	}
-	// All workers and the consumer loop are done; no concurrent fail().
+	// All workers and the consumer loop are done; retire the watcher so
+	// no fail() can run concurrently with reading firstErr.
+	close(watchDone)
+	watch.Wait()
 	errMu.Lock()
 	err = firstErr
 	errMu.Unlock()
@@ -236,7 +271,7 @@ func newAggregateSink(points []RunSpec, reps int, keepPerRun, keepResults bool) 
 	return s
 }
 
-func (s *aggregateSink) Consume(ev Event) error {
+func (s *aggregateSink) Consume(_ context.Context, ev Event) error {
 	pi := ev.Point
 	if pi < 0 || pi >= len(s.points) {
 		return fmt.Errorf("engine: aggregate sink: point %d out of range", pi)

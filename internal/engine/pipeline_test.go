@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -21,13 +22,13 @@ type countingBackend struct {
 
 func (b *countingBackend) Name() string { return "counting" }
 
-func (b *countingBackend) Run(spec RunSpec) (*RunResult, error) {
+func (b *countingBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	b.calls.Add(1)
 	be, err := New("sim")
 	if err != nil {
 		return nil, err
 	}
-	return be.Run(spec)
+	return be.Run(ctx, spec)
 }
 
 var counting = &countingBackend{}
@@ -71,7 +72,7 @@ func TestStreamingBitIdenticalToBufferedPath(t *testing.T) {
 		for rep := 0; rep < spec.Replications; rep++ {
 			run := pt
 			run.RNGState = seedFor(pi, rep)
-			res, err := be.Run(run)
+			res, err := be.Run(context.Background(), run)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,7 +83,7 @@ func TestStreamingBitIdenticalToBufferedPath(t *testing.T) {
 	}
 
 	for _, workers := range []int{1, 3, 8} {
-		res, err := spec.Execute(ExecConfig{Workers: workers})
+		res, err := spec.Execute(context.Background(), ExecConfig{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func TestCacheServesRepeatWithZeroBackendRuns(t *testing.T) {
 	store := cache.NewMemory()
 
 	before := counting.calls.Load()
-	first, err := spec.Execute(ExecConfig{Cache: store, KeepPerRun: true})
+	first, err := spec.Execute(context.Background(), ExecConfig{Cache: store, KeepPerRun: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestCacheServesRepeatWithZeroBackendRuns(t *testing.T) {
 	}
 
 	before = counting.calls.Load()
-	second, err := spec.Execute(ExecConfig{Cache: store, KeepPerRun: true})
+	second, err := spec.Execute(context.Background(), ExecConfig{Cache: store, KeepPerRun: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,12 +155,12 @@ func TestCacheReplayFeedsSinksIdentically(t *testing.T) {
 	store := cache.NewMemory()
 
 	var live bytes.Buffer
-	if _, err := spec.Execute(ExecConfig{Cache: store, Sinks: []Sink{NewCSVSink(&live)}}); err != nil {
+	if _, err := spec.Execute(context.Background(), ExecConfig{Cache: store, Sinks: []Sink{NewCSVSink(&live)}}); err != nil {
 		t.Fatal(err)
 	}
 	var replayed bytes.Buffer
 	before := counting.calls.Load()
-	if _, err := spec.Execute(ExecConfig{Cache: store, Sinks: []Sink{NewCSVSink(&replayed)}}); err != nil {
+	if _, err := spec.Execute(context.Background(), ExecConfig{Cache: store, Sinks: []Sink{NewCSVSink(&replayed)}}); err != nil {
 		t.Fatal(err)
 	}
 	if counting.calls.Load() != before {
@@ -182,11 +183,11 @@ func TestCacheCorruptEntryFallsBackToLiveRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := store.Put(hash, []byte("{not json")); err != nil {
+	if err := store.Put(context.Background(), hash, []byte("{not json")); err != nil {
 		t.Fatal(err)
 	}
 	before := counting.calls.Load()
-	if _, err := spec.Execute(ExecConfig{Cache: store}); err != nil {
+	if _, err := spec.Execute(context.Background(), ExecConfig{Cache: store}); err != nil {
 		t.Fatal(err)
 	}
 	if counting.calls.Load() == before {
@@ -194,7 +195,7 @@ func TestCacheCorruptEntryFallsBackToLiveRun(t *testing.T) {
 	}
 	// The live run must have overwritten the corrupt entry.
 	before = counting.calls.Load()
-	if _, err := spec.Execute(ExecConfig{Cache: store}); err != nil {
+	if _, err := spec.Execute(context.Background(), ExecConfig{Cache: store}); err != nil {
 		t.Fatal(err)
 	}
 	if counting.calls.Load() != before {
@@ -208,7 +209,7 @@ func TestSinkOutputDeterministicAcrossWorkers(t *testing.T) {
 	spec := testSpec()
 	render := func(workers int) string {
 		var buf bytes.Buffer
-		if _, err := spec.Execute(ExecConfig{Workers: workers, Sinks: []Sink{NewCSVSink(&buf)}}); err != nil {
+		if _, err := spec.Execute(context.Background(), ExecConfig{Workers: workers, Sinks: []Sink{NewCSVSink(&buf)}}); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()
@@ -227,7 +228,7 @@ type errorSink struct {
 	closed bool
 }
 
-func (s *errorSink) Consume(Event) error {
+func (s *errorSink) Consume(context.Context, Event) error {
 	s.n--
 	if s.n <= 0 {
 		return fmt.Errorf("sink full")
@@ -245,7 +246,7 @@ func TestSinkErrorAbortsCampaign(t *testing.T) {
 	err := Campaign{
 		Points:       []RunSpec{testPoint(5)},
 		Replications: 20,
-	}.Stream(sink)
+	}.Stream(context.Background(), sink)
 	if err == nil || !strings.Contains(err.Error(), "sink full") {
 		t.Fatalf("sink error not propagated: %v", err)
 	}
@@ -257,7 +258,7 @@ func TestSinkErrorAbortsCampaign(t *testing.T) {
 func TestJSONLSinkShape(t *testing.T) {
 	var buf bytes.Buffer
 	spec := countingSpec()
-	if _, err := spec.Execute(ExecConfig{Sinks: []Sink{NewJSONLSink(&buf)}}); err != nil {
+	if _, err := spec.Execute(context.Background(), ExecConfig{Sinks: []Sink{NewJSONLSink(&buf)}}); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
@@ -284,7 +285,7 @@ func TestSinksClosedOnEarlyValidationError(t *testing.T) {
 	}
 	for name, c := range cases {
 		sink := &errorSink{n: 1 << 30}
-		if err := c.Stream(sink); err == nil {
+		if err := c.Stream(context.Background(), sink); err == nil {
 			t.Errorf("%s: invalid campaign accepted", name)
 		}
 		if !sink.closed {
@@ -302,7 +303,7 @@ func TestStreamBoundedReorderUnderSkew(t *testing.T) {
 		{Technique: "STAT", N: 64, P: 2, Work: workload.NewConstant(0.001)},
 	}
 	run := func(workers int) *CampaignResult {
-		res, err := Campaign{Points: points, Replications: 8, Workers: workers}.Run()
+		res, err := Campaign{Points: points, Replications: 8, Workers: workers}.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -322,10 +323,10 @@ func TestStreamBoundedReorderUnderSkew(t *testing.T) {
 // failingStore errors on Get — a broken cache must close sinks too.
 type failingStore struct{}
 
-func (failingStore) Get(string) ([]byte, bool, error) {
+func (failingStore) Get(context.Context, string) ([]byte, bool, error) {
 	return nil, false, fmt.Errorf("cache broken")
 }
-func (failingStore) Put(string, []byte) error { return fmt.Errorf("cache broken") }
+func (failingStore) Put(context.Context, string, []byte) error { return fmt.Errorf("cache broken") }
 
 // TestExecuteClosesSinksOnEarlyError: Execute error paths before the
 // stream starts (invalid spec, failing cache) still close every sink.
@@ -333,7 +334,7 @@ func TestExecuteClosesSinksOnEarlyError(t *testing.T) {
 	bad := countingSpec()
 	bad.Replications = 0
 	sink := &errorSink{n: 1 << 30}
-	if _, err := bad.Execute(ExecConfig{Sinks: []Sink{sink}}); err == nil {
+	if _, err := bad.Execute(context.Background(), ExecConfig{Sinks: []Sink{sink}}); err == nil {
 		t.Fatal("invalid spec accepted")
 	}
 	if !sink.closed {
@@ -341,7 +342,7 @@ func TestExecuteClosesSinksOnEarlyError(t *testing.T) {
 	}
 
 	sink = &errorSink{n: 1 << 30}
-	if _, err := countingSpec().Execute(ExecConfig{Cache: failingStore{}, Sinks: []Sink{sink}}); err == nil {
+	if _, err := countingSpec().Execute(context.Background(), ExecConfig{Cache: failingStore{}, Sinks: []Sink{sink}}); err == nil {
 		t.Fatal("failing cache Get not propagated")
 	}
 	if !sink.closed {

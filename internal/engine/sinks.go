@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"io"
@@ -24,7 +25,7 @@ type CSVSink struct {
 func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: csv.NewWriter(w)} }
 
 // Consume writes the event's run metrics as one row.
-func (s *CSVSink) Consume(ev Event) error {
+func (s *CSVSink) Consume(_ context.Context, ev Event) error {
 	if !s.header {
 		s.header = true
 		if err := s.w.Write([]string{"point", "technique", "n", "p", "rep",
@@ -76,7 +77,7 @@ type jsonlRow struct {
 }
 
 // Consume writes the event's run metrics as one JSON line.
-func (s *JSONLSink) Consume(ev Event) error {
+func (s *JSONLSink) Consume(_ context.Context, ev Event) error {
 	return s.enc.Encode(jsonlRow{
 		Point:     ev.Point,
 		Technique: ev.Spec.Technique,

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"strings"
@@ -237,7 +238,7 @@ func TestSpecSeedPolicies(t *testing.T) {
 // aggregates.
 func TestSpecExecuteMatchesCompiledRun(t *testing.T) {
 	spec := testSpec()
-	viaExecute, err := spec.Execute(ExecConfig{})
+	viaExecute, err := spec.Execute(context.Background(), ExecConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestSpecExecuteMatchesCompiledRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaRun, err := c.Run()
+	viaRun, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

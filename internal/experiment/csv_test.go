@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"io"
 	"strconv"
@@ -50,7 +51,7 @@ func readAll(t *testing.T, buf *bytes.Buffer) [][]string {
 
 func TestHagerupCSVRoundTrip(t *testing.T) {
 	spec := smallSpec()
-	res, err := RunHagerup(spec)
+	res, err := RunHagerup(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestPerRunCSVRoundTrip(t *testing.T) {
 	spec.Ns = []int64{256}
 	spec.Ps = []int{2}
 	spec.KeepPerRun = true
-	res, err := RunHagerup(spec)
+	res, err := RunHagerup(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestPerRunCSVRequiresKeptRuns(t *testing.T) {
 }
 
 func TestTzenCSVRoundTrip(t *testing.T) {
-	res, err := RunTzen(TzenExperiment1())
+	res, err := RunTzen(context.Background(), TzenExperiment1())
 	if err != nil {
 		t.Fatal(err)
 	}

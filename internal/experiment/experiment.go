@@ -11,6 +11,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -122,12 +123,12 @@ func cellKey(tech string, n int64, p int) string {
 // OneHagerupRun executes a single run of one cell on the default backend
 // and returns its average wasted time and the number of scheduling
 // operations.
-func OneHagerupRun(tech string, n int64, p int, mu, h float64, stream *rng.Rand48) (wasted float64, ops int64, err error) {
+func OneHagerupRun(ctx context.Context, tech string, n int64, p int, mu, h float64, stream *rng.Rand48) (wasted float64, ops int64, err error) {
 	be, err := engine.New(engine.DefaultBackend)
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := be.Run(hagerupSpec(tech, n, p, mu, h, stream.State()))
+	res, err := be.Run(ctx, hagerupSpec(tech, n, p, mu, h, stream.State()))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -169,12 +170,13 @@ func (s HagerupSpec) CampaignSpec() engine.CampaignSpec {
 
 // RunHagerup executes the full grid as one engine campaign, streaming
 // the independent runs through the results pipeline (and, when
-// configured, the content-addressed cache).
-func RunHagerup(spec HagerupSpec) (*HagerupResult, error) {
+// configured, the content-addressed cache). Cancelling ctx aborts the
+// grid with an error wrapping ctx.Err().
+func RunHagerup(ctx context.Context, spec HagerupSpec) (*HagerupResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := spec.CampaignSpec().Execute(engine.ExecConfig{
+	res, err := spec.CampaignSpec().Execute(ctx, engine.ExecConfig{
 		Workers:    spec.Workers,
 		KeepPerRun: spec.KeepPerRun,
 		Cache:      spec.Cache,

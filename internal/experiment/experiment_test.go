@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -66,7 +67,7 @@ func TestHagerupGridMatchesTableIII(t *testing.T) {
 }
 
 func TestRunHagerupSmall(t *testing.T) {
-	res, err := RunHagerup(smallSpec())
+	res, err := RunHagerup(context.Background(), smallSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +97,11 @@ func TestDeterministicAcrossParallelism(t *testing.T) {
 	s1.Workers = 1
 	sN := smallSpec()
 	sN.Workers = 8
-	r1, err := RunHagerup(s1)
+	r1, err := RunHagerup(context.Background(), s1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rN, err := RunHagerup(sN)
+	rN, err := RunHagerup(context.Background(), sN)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,8 +118,8 @@ func TestSeedChangesResults(t *testing.T) {
 	a := smallSpec()
 	b := smallSpec()
 	b.Seed = 8
-	ra, _ := RunHagerup(a)
-	rb, _ := RunHagerup(b)
+	ra, _ := RunHagerup(context.Background(), a)
+	rb, _ := RunHagerup(context.Background(), b)
 	same := true
 	for i := range ra.Cells {
 		if ra.Cells[i].Wasted.Mean != rb.Cells[i].Wasted.Mean {
@@ -134,7 +135,7 @@ func TestSeedChangesResults(t *testing.T) {
 func TestKeepPerRun(t *testing.T) {
 	s := smallSpec()
 	s.KeepPerRun = true
-	res, err := RunHagerup(s)
+	res, err := RunHagerup(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestKeepPerRun(t *testing.T) {
 }
 
 func TestSeries(t *testing.T) {
-	res, err := RunHagerup(smallSpec())
+	res, err := RunHagerup(context.Background(), smallSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,13 +174,13 @@ func TestSeries(t *testing.T) {
 }
 
 func TestOneHagerupRunErrors(t *testing.T) {
-	if _, _, err := OneHagerupRun("NOPE", 10, 2, 1, 0.5, rng.New(1)); err == nil {
+	if _, _, err := OneHagerupRun(context.Background(), "NOPE", 10, 2, 1, 0.5, rng.New(1)); err == nil {
 		t.Error("unknown technique accepted")
 	}
 }
 
 func TestWriteHagerupCSV(t *testing.T) {
-	res, err := RunHagerup(smallSpec())
+	res, err := RunHagerup(context.Background(), smallSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestWriteHagerupCSV(t *testing.T) {
 func TestWritePerRunCSV(t *testing.T) {
 	s := smallSpec()
 	s.KeepPerRun = true
-	res, _ := RunHagerup(s)
+	res, _ := RunHagerup(context.Background(), s)
 	c, _ := res.Cell("BOLD", 256, 2)
 	var buf bytes.Buffer
 	if err := WritePerRunCSV(&buf, c); err != nil {
@@ -213,7 +214,7 @@ func TestWritePerRunCSV(t *testing.T) {
 		t.Fatalf("per-run CSV has %d lines", len(lines))
 	}
 	// Without per-run data the export must fail loudly.
-	res2, _ := RunHagerup(smallSpec())
+	res2, _ := RunHagerup(context.Background(), smallSpec())
 	c2, _ := res2.Cell("BOLD", 256, 2)
 	if err := WritePerRunCSV(&buf, c2); err == nil {
 		t.Error("missing per-run data accepted")
@@ -241,7 +242,7 @@ func TestTzenSpecs(t *testing.T) {
 func TestRunTzenFastPath(t *testing.T) {
 	spec := TzenExperiment2()
 	spec.Ps = []int{2, 8, 32}
-	res, err := RunTzen(spec)
+	res, err := RunTzen(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,11 +270,11 @@ func TestRunTzenMSGMatchesFast(t *testing.T) {
 	full := TzenExperiment2()
 	full.Ps = []int{8}
 	full.UseMSG = true
-	fr, err := RunTzen(fast)
+	fr, err := RunTzen(context.Background(), fast)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mr, err := RunTzen(full)
+	mr, err := RunTzen(context.Background(), full)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestRunTzenMSGMatchesFast(t *testing.T) {
 }
 
 func TestRunTzenValidation(t *testing.T) {
-	if _, err := RunTzen(TzenSpec{}); err == nil {
+	if _, err := RunTzen(context.Background(), TzenSpec{}); err == nil {
 		t.Error("empty spec accepted")
 	}
 }
@@ -297,7 +298,7 @@ func TestRunTzenValidation(t *testing.T) {
 func TestWriteTzenCSV(t *testing.T) {
 	spec := TzenExperiment2()
 	spec.Ps = []int{2}
-	res, err := RunTzen(spec)
+	res, err := RunTzen(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
@@ -34,7 +35,7 @@ type GSSSweepResult struct {
 // GSSSweep measures GSS(k) over the k values the TSS publication tests
 // (1, 2, 5, 10, 20, ⌊n/p⌋) on one Hagerup-style cell. Each k is one
 // campaign point; its runs execute concurrently.
-func GSSSweep(n int64, p int, runs int, mu, h float64, seed uint64) (*GSSSweepResult, error) {
+func GSSSweep(ctx context.Context, n int64, p int, runs int, mu, h float64, seed uint64) (*GSSSweepResult, error) {
 	if runs <= 0 || n <= 0 || p <= 0 {
 		return nil, fmt.Errorf("experiment: invalid GSS sweep (n=%d p=%d runs=%d)", n, p, runs)
 	}
@@ -56,7 +57,7 @@ func GSSSweep(n int64, p int, runs int, mu, h float64, seed uint64) (*GSSSweepRe
 		SeedFor: func(point, run int) uint64 {
 			return rng.RunSeed(seed^uint64(ks[point])<<32, run)
 		},
-	}.Run()
+	}.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +81,7 @@ type CSSSweepResult struct {
 // TSS experiment-1 configuration (constant workload, fast-sim network
 // model). The sweep brackets the publication's reported optimum
 // k = n/p.
-func CSSSweep(n int64, p int, taskTime float64, masterOverhead, rtt float64) (*CSSSweepResult, error) {
+func CSSSweep(ctx context.Context, n int64, p int, taskTime float64, masterOverhead, rtt float64) (*CSSSweepResult, error) {
 	if n <= 0 || p <= 0 || taskTime <= 0 {
 		return nil, fmt.Errorf("experiment: invalid CSS sweep (n=%d p=%d task=%v)", n, p, taskTime)
 	}
@@ -98,7 +99,7 @@ func CSSSweep(n int64, p int, taskTime float64, masterOverhead, rtt float64) (*C
 		return nil, err
 	}
 	for _, k := range ks {
-		out, err := be.Run(engine.RunSpec{
+		out, err := be.Run(ctx, engine.RunSpec{
 			Technique:      "CSS",
 			N:              n,
 			P:              p,

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -35,7 +36,7 @@ func TestFutureWorkGridRuns(t *testing.T) {
 	s.Ns = []int64{1024}
 	s.Ps = []int{2, 8}
 	s.Runs = 20
-	res, err := RunHagerup(s)
+	res, err := RunHagerup(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestFutureWorkGridRuns(t *testing.T) {
 }
 
 func TestGSSSweep(t *testing.T) {
-	res, err := GSSSweep(8192, 8, 10, 1, 0.5, 3)
+	res, err := GSSSweep(context.Background(), 8192, 8, 10, 1, 0.5, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestGSSSweep(t *testing.T) {
 		t.Errorf("GSS(n/p) wasted %.3g <= GSS(1) %.3g; variance should punish huge min chunks",
 			res.Wasted[5], res.Wasted[0])
 	}
-	if _, err := GSSSweep(0, 8, 10, 1, 0.5, 3); err == nil {
+	if _, err := GSSSweep(context.Background(), 0, 8, 10, 1, 0.5, 3); err == nil {
 		t.Error("invalid sweep accepted")
 	}
 }
@@ -83,7 +84,7 @@ func TestGSSSweep(t *testing.T) {
 // ("k = I/P = 1389, we can achieve a speedup of 69.2" on 72 PEs).
 func TestCSSSweepOptimumNearNOverP(t *testing.T) {
 	const n, p = 100000, 72
-	res, err := CSSSweep(n, p, 110e-6, 5e-6, 200e-6)
+	res, err := CSSSweep(context.Background(), n, p, 110e-6, 5e-6, 200e-6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestCSSSweepOptimumNearNOverP(t *testing.T) {
 		t.Errorf("CSS(1) speedup %.1f suspiciously close to CSS(n/p) %.1f",
 			res.Speedups[0], res.Speedups[idxNP])
 	}
-	if _, err := CSSSweep(0, 1, 1, 0, 0); err == nil {
+	if _, err := CSSSweep(context.Background(), 0, 1, 1, 0, 0); err == nil {
 		t.Error("invalid sweep accepted")
 	}
 }
@@ -121,7 +122,7 @@ func TestFutureWorkCSVExport(t *testing.T) {
 	s.Ns = []int64{512}
 	s.Ps = []int{4}
 	s.Runs = 5
-	res, err := RunHagerup(s)
+	res, err := RunHagerup(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

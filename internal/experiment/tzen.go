@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
@@ -84,15 +85,16 @@ type TzenResult struct {
 	Curves map[string][]TzenPoint // label -> points, ordered as Spec.Ps
 }
 
-// RunTzen sweeps PE counts for every curve of the spec.
-func RunTzen(spec TzenSpec) (*TzenResult, error) {
+// RunTzen sweeps PE counts for every curve of the spec. Cancelling ctx
+// aborts the sweep between points.
+func RunTzen(ctx context.Context, spec TzenSpec) (*TzenResult, error) {
 	if spec.N <= 0 || spec.TaskTime <= 0 || len(spec.Ps) == 0 || len(spec.Curves) == 0 {
 		return nil, fmt.Errorf("experiment: invalid Tzen spec %+v", spec)
 	}
 	res := &TzenResult{Spec: spec, Curves: make(map[string][]TzenPoint)}
 	for _, curve := range spec.Curves {
 		for _, p := range spec.Ps {
-			point, err := runTzenPoint(spec, curve, p)
+			point, err := runTzenPoint(ctx, spec, curve, p)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: %s %s p=%d: %w", spec.Name, curve.Label, p, err)
 			}
@@ -102,7 +104,7 @@ func RunTzen(spec TzenSpec) (*TzenResult, error) {
 	return res, nil
 }
 
-func runTzenPoint(spec TzenSpec, curve TzenCurve, p int) (*TzenPoint, error) {
+func runTzenPoint(ctx context.Context, spec TzenSpec, curve TzenCurve, p int) (*TzenPoint, error) {
 	// Fast path and MSG path are the same run description on different
 	// engine backends: the request/reply round trip of 2 hops over 2
 	// links each (worker link + backbone) is a per-operation cost of
@@ -118,7 +120,7 @@ func runTzenPoint(spec TzenSpec, curve TzenCurve, p int) (*TzenPoint, error) {
 	}
 	work := workload.NewConstant(spec.TaskTime)
 	seq := workload.Total(work, spec.N)
-	res, err := be.Run(engine.RunSpec{
+	res, err := be.Run(ctx, engine.RunSpec{
 		Technique:      curve.Tech,
 		N:              spec.N,
 		P:              p,

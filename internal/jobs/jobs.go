@@ -1,0 +1,485 @@
+// Package jobs is the in-process campaign job manager behind the
+// dlsimd service: a bounded submission queue in front of the engine's
+// context-aware execution pipeline, with per-job lifecycle states,
+// streaming progress counters, and singleflight deduplication.
+//
+// Deduplication is keyed on the campaign spec's canonical hash
+// (engine.CampaignSpec.Hash): submitting a spec whose hash matches a
+// queued or running job returns that job instead of enqueuing a second
+// execution, so any number of concurrent identical submissions share
+// exactly one backend execution. Completed results are written to the
+// manager's content-addressed store, so a later submission of the same
+// spec is a fresh job that the engine serves entirely from the cache —
+// zero backend runs either way.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle states. Terminal states are StateDone, StateFailed and
+// StateCancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Errors reported by the manager.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity — the service's backpressure signal.
+	ErrQueueFull = errors.New("jobs: submission queue full")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrNotDone rejects a results request for a job that has not
+	// completed successfully.
+	ErrNotDone = errors.New("jobs: job has not completed")
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("jobs: manager closed")
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Store holds completed campaign results content-addressed by spec
+	// hash; results streaming replays from it. Nil selects a fresh
+	// in-memory store.
+	Store cache.Store
+
+	// QueueDepth bounds the number of jobs waiting to run; submissions
+	// beyond it fail with ErrQueueFull. 0 selects 64.
+	QueueDepth int
+
+	// Concurrency is the number of campaigns executing at once. Each
+	// campaign additionally fans its runs over Workers goroutines.
+	// 0 selects 1 (campaigns already saturate the cores via Workers).
+	Concurrency int
+
+	// Workers bounds the per-campaign run concurrency; 0 selects
+	// GOMAXPROCS (see engine.ExecConfig.Workers).
+	Workers int
+}
+
+// Job is one submitted campaign. All exported methods are safe for
+// concurrent use.
+type Job struct {
+	id    string
+	hash  string
+	spec  engine.CampaignSpec
+	total int64 // points × replications
+
+	completed atomic.Int64 // runs delivered by the progress sink
+
+	mu          sync.Mutex
+	state       State
+	err         error
+	submissions int // submissions sharing this execution (≥ 1)
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+
+	execCtx context.Context // execution context, derived from the manager's
+	cancel  context.CancelFunc
+	done    chan struct{} // closed on entering a terminal state
+}
+
+// Snapshot is a point-in-time copy of a job's externally visible state,
+// shaped for JSON status endpoints.
+type Snapshot struct {
+	ID          string `json:"id"`
+	Hash        string `json:"hash"`
+	State       State  `json:"state"`
+	Total       int64  `json:"total"`     // runs in the campaign grid
+	Completed   int64  `json:"completed"` // runs finished so far
+	Submissions int    `json:"submissions"`
+	Error       string `json:"error,omitempty"`
+
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Hash returns the canonical spec hash the job deduplicates on.
+func (j *Job) Hash() string { return j.hash }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot copies the job's current state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:          j.id,
+		Hash:        j.hash,
+		State:       j.state,
+		Total:       j.total,
+		Completed:   j.completed.Load(),
+		Submissions: j.submissions,
+		CreatedAt:   j.created,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+	}
+	return s
+}
+
+// progressSink feeds the job's completion counter from the campaign's
+// ordered event stream — O(1) state, no buffering.
+type progressSink struct{ j *Job }
+
+func (s progressSink) Consume(context.Context, engine.Event) error {
+	s.j.completed.Add(1)
+	return nil
+}
+func (s progressSink) Close() error { return nil }
+
+// Manager owns the job table, the dedup index and the bounded queue.
+// The queue is a mutex-guarded FIFO (not a channel) so that cancelling
+// a queued job frees its slot immediately instead of occupying channel
+// capacity until a runner drains it.
+type Manager struct {
+	store   cache.Store
+	workers int
+	depth   int // max queued (not yet running) jobs
+
+	ctx    context.Context // base context; Close cancels it
+	stop   context.CancelFunc
+	runner sync.WaitGroup
+
+	mu      sync.Mutex
+	ready   *sync.Cond // signaled on enqueue and on Close
+	pending []*Job     // FIFO of queued jobs awaiting a runner
+	closed  bool
+	seq     int
+	jobs    map[string]*Job // by job ID
+	order   []string        // insertion order for List
+	active  map[string]*Job // by spec hash, queued or running only
+}
+
+// NewManager starts a manager with cfg's queue depth and concurrency.
+// Call Close to cancel in-flight jobs and reclaim the runner
+// goroutines.
+func NewManager(cfg Config) *Manager {
+	if cfg.Store == nil {
+		cfg.Store = cache.NewMemory()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		store:   cfg.Store,
+		workers: cfg.Workers,
+		depth:   cfg.QueueDepth,
+		ctx:     ctx,
+		stop:    stop,
+		jobs:    make(map[string]*Job),
+		active:  make(map[string]*Job),
+	}
+	m.ready = sync.NewCond(&m.mu)
+	for i := 0; i < cfg.Concurrency; i++ {
+		m.runner.Add(1)
+		go m.run()
+	}
+	return m
+}
+
+// Submit validates the spec and enqueues it as a job. If a job with the
+// same canonical spec hash is already queued or running, that job is
+// returned with deduped == true and no new execution happens: the
+// submissions share one campaign. A full queue fails with ErrQueueFull.
+func (m *Manager) Submit(spec engine.CampaignSpec) (job *Job, deduped bool, err error) {
+	// Expanding the grid both validates the spec and sizes the progress
+	// denominator before anything is enqueued.
+	points, err := spec.Points()
+	if err != nil {
+		return nil, false, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, false, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrClosed
+	}
+	if j, ok := m.active[hash]; ok {
+		j.mu.Lock()
+		j.submissions++
+		j.mu.Unlock()
+		return j, true, nil
+	}
+	if len(m.pending) >= m.depth {
+		return nil, false, ErrQueueFull
+	}
+	m.seq++
+	jctx, cancel := context.WithCancel(m.ctx)
+	j := &Job{
+		id:          fmt.Sprintf("j%d", m.seq),
+		hash:        hash,
+		spec:        spec,
+		total:       int64(len(points)) * int64(spec.Replications),
+		state:       StateQueued,
+		submissions: 1,
+		created:     time.Now(),
+		execCtx:     jctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+	}
+	m.pending = append(m.pending, j)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.active[hash] = j
+	m.ready.Signal()
+	return j, false, nil
+}
+
+// Get returns the job with the given ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// List snapshots every job in submission order.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Snapshot, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// Cancel transitions the job out of the queue (if still queued) or
+// cancels its execution context (if running). Either way the job's
+// hash leaves the dedup index immediately, so a subsequent identical
+// submission starts fresh instead of joining a doomed job. Cancelling
+// a terminal job is a no-op. Running jobs reach StateCancelled
+// asynchronously — wait on Done for the terminal state.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		j.cancel()
+		m.retire(j)
+		m.dequeue(j) // free the queue slot for new submissions
+		return nil
+	case StateRunning:
+		j.mu.Unlock()
+		m.retire(j)
+		j.cancel() // runner observes the cancellation and finalizes
+		return nil
+	default:
+		j.mu.Unlock()
+		return nil
+	}
+}
+
+// dequeue removes a (cancelled) job from the pending FIFO, if present.
+func (m *Manager) dequeue(j *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, p := range m.pending {
+		if p == j {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is
+// cancelled, returning the job's final snapshot.
+func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	select {
+	case <-j.done:
+		return j.Snapshot(), nil
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+}
+
+// Results streams the completed job's per-run events into the given
+// sinks in deterministic (point, replication) order by replaying the
+// cached campaign through the engine — zero backend runs on the replay
+// path. Concurrent Results calls are independent: every caller gets the
+// identical byte stream. The job must be in StateDone.
+func (m *Manager) Results(ctx context.Context, id string, sinks ...engine.Sink) error {
+	j, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if state != StateDone {
+		return fmt.Errorf("%w: %s is %s", ErrNotDone, id, state)
+	}
+	// The entry was written when the job completed; Execute replays it.
+	// If the store lost it (e.g. an evicting implementation), the engine
+	// transparently re-runs the campaign — determinism makes the bytes
+	// identical either way.
+	_, err = j.spec.Execute(ctx, engine.ExecConfig{
+		Workers: m.workers,
+		Cache:   m.store,
+		Sinks:   sinks,
+	})
+	return err
+}
+
+// Close stops accepting submissions, cancels queued and running jobs,
+// and waits for the runners to drain. Safe to call more than once.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.runner.Wait()
+		return
+	}
+	m.closed = true
+	m.ready.Broadcast() // wake runners blocked on an empty queue
+	m.mu.Unlock()
+	m.stop() // cancels every job context derived from m.ctx
+	m.runner.Wait()
+	// Finalize jobs still queued at shutdown so waiters unblock.
+	m.mu.Lock()
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, j := range pending {
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateCancelled
+			j.err = context.Canceled
+			j.finished = time.Now()
+			close(j.done)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// retire removes a job from the dedup index once it can no longer be
+// joined (terminal or about to be).
+func (m *Manager) retire(j *Job) {
+	m.mu.Lock()
+	if m.active[j.hash] == j {
+		delete(m.active, j.hash)
+	}
+	m.mu.Unlock()
+}
+
+// run is one runner goroutine: it pops jobs off the pending FIFO and
+// executes them, sleeping on the condition variable while the queue is
+// empty. Close broadcasts after setting closed, so runners never sleep
+// through shutdown.
+func (m *Manager) run() {
+	defer m.runner.Done()
+	for {
+		m.mu.Lock()
+		for !m.closed && len(m.pending) == 0 {
+			m.ready.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.runJob(j)
+	}
+}
+
+// runJob executes one job through the engine and finalizes its state.
+func (m *Manager) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	ctx := j.execCtx
+	j.mu.Unlock()
+
+	_, err := j.spec.Execute(ctx, engine.ExecConfig{
+		Workers: m.workers,
+		Cache:   m.store,
+		Sinks:   []engine.Sink{progressSink{j}},
+	})
+
+	m.retire(j)
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = err
+	default:
+		j.state = StateFailed
+		j.err = err
+	}
+	close(j.done)
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+}

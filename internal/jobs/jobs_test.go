@@ -1,0 +1,315 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/testutil"
+	"repro/internal/workload"
+)
+
+// Gated backends shared by this package's tests; each test that blocks
+// runs gets its own gate so release order cannot leak across tests.
+var (
+	gateFlight = testutil.NewGateBackend("jobs-gate-flight")
+	gateCancel = testutil.NewGateBackend("jobs-gate-cancel")
+	gateQueue  = testutil.NewGateBackend("jobs-gate-queue")
+	gateClose  = testutil.NewGateBackend("jobs-gate-close")
+)
+
+func init() {
+	engine.Register(gateFlight)
+	engine.Register(gateCancel)
+	engine.Register(gateQueue)
+	engine.Register(gateClose)
+}
+
+func gatedSpec(backend string, seed uint64) engine.CampaignSpec {
+	return engine.CampaignSpec{
+		Backend:      backend,
+		Techniques:   []string{"FAC2"},
+		Ns:           []int64{128},
+		Ps:           []int{2},
+		Workload:     workload.Spec{Kind: "exponential", P1: 1},
+		H:            0.5,
+		Replications: 4,
+		Seed:         seed,
+	}
+}
+
+func waitState(t *testing.T, m *Manager, id string, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := j.Snapshot()
+		if snap.State == want {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, snap.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSingleflightDedup is the dedup acceptance criterion: N concurrent
+// identical submissions share exactly one campaign execution — one job
+// ID, one set of backend runs — and every submitter observes the same
+// completed job.
+func TestSingleflightDedup(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	gateFlight.Reset() // re-arm for -count>1 reruns
+	baseRuns := gateFlight.Runs.Load()
+	m := NewManager(Config{})
+	defer m.Close()
+
+	spec := gatedSpec("jobs-gate-flight", 7)
+	first, deduped, err := m.Submit(spec)
+	if err != nil || deduped {
+		t.Fatalf("first Submit = deduped %v, err %v", deduped, err)
+	}
+	waitState(t, m, first.ID(), StateRunning)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	ids := make([]string, clients)
+	dedups := make([]bool, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, d, err := m.Submit(spec)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			ids[i], dedups[i] = j.ID(), d
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if ids[i] != first.ID() || !dedups[i] {
+			t.Fatalf("submission %d got job %s (deduped %v); want shared job %s", i, ids[i], dedups[i], first.ID())
+		}
+	}
+	if snap := first.Snapshot(); snap.Submissions != clients+1 {
+		t.Fatalf("job records %d submissions, want %d", snap.Submissions, clients+1)
+	}
+
+	gateFlight.Release()
+	snap := waitState(t, m, first.ID(), StateDone)
+	total := int64(spec.Replications) // 1 technique × 1 n × 1 p
+	if got := gateFlight.Runs.Load() - baseRuns; got != total {
+		t.Fatalf("backend executed %d runs for %d submissions, want exactly %d (one execution)",
+			got, clients+1, total)
+	}
+	if snap.Completed != total || snap.Total != total {
+		t.Fatalf("progress %d/%d, want %d/%d", snap.Completed, snap.Total, total, total)
+	}
+
+	// A later submission of the same spec is a fresh job served from
+	// the result store: done with zero additional backend runs.
+	later, deduped, err := m.Submit(spec)
+	if err != nil || deduped {
+		t.Fatalf("post-completion Submit = deduped %v, err %v", deduped, err)
+	}
+	if later.ID() == first.ID() {
+		t.Fatal("terminal job joined instead of re-submitted")
+	}
+	if _, err := m.Wait(context.Background(), later.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := gateFlight.Runs.Load() - baseRuns; got != total {
+		t.Fatalf("cache-served resubmission performed %d extra backend runs", got-total)
+	}
+}
+
+// TestResultsReplayIdentical: every Results call streams byte-identical
+// JSONL, replayed from the content-addressed store.
+func TestResultsReplayIdentical(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+
+	spec := gatedSpec("", 11) // default sim backend, no gate
+	j, _, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), j.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	render := func() string {
+		var buf bytes.Buffer
+		if err := m.Results(context.Background(), j.ID(), engine.NewJSONLSink(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("two Results streams differ")
+	}
+	if got := strings.Count(a, "\n"); got != spec.Replications {
+		t.Fatalf("results have %d lines, want %d", got, spec.Replications)
+	}
+}
+
+// TestCancelRunningJob: cancelling a running job drives it to
+// StateCancelled, reclaims every goroutine and leaves the store clean
+// for unrelated jobs.
+func TestCancelRunningJob(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	gateCancel.Reset()
+	m := NewManager(Config{})
+	defer m.Close()
+
+	j, _, err := m.Submit(gatedSpec("jobs-gate-cancel", 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID(), StateRunning)
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// The hash leaves the dedup index at cancel time: an identical
+	// submission during the cancellation drain must start a fresh job,
+	// not join the doomed one.
+	fresh, deduped, err := m.Submit(gatedSpec("jobs-gate-cancel", 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || fresh.ID() == j.ID() {
+		t.Fatalf("submission after Cancel joined the cancelled job %s (deduped %v)", j.ID(), deduped)
+	}
+	if err := m.Cancel(fresh.ID()); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, m, j.ID(), StateCancelled)
+	if !strings.Contains(snap.Error, "canceled") {
+		t.Fatalf("cancelled job error = %q", snap.Error)
+	}
+	if gateCancel.Runs.Load() != 0 {
+		t.Fatalf("cancelled job completed %d backend runs", gateCancel.Runs.Load())
+	}
+	if err := m.Results(context.Background(), j.ID()); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("Results on cancelled job = %v, want ErrNotDone", err)
+	}
+	// Cancel is idempotent on terminal jobs.
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueBackpressureAndQueuedCancel: the bounded queue rejects
+// overflow with ErrQueueFull, and a queued job can be cancelled without
+// ever executing.
+func TestQueueBackpressureAndQueuedCancel(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	gateQueue.Reset()
+	baseStarted := gateQueue.Started.Load()
+	m := NewManager(Config{QueueDepth: 1, Concurrency: 1})
+	defer m.Close()
+
+	running, _, err := m.Submit(gatedSpec("jobs-gate-queue", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID(), StateRunning)
+
+	queued, _, err := m.Submit(gatedSpec("jobs-gate-queue", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := queued.Snapshot(); snap.State != StateQueued {
+		t.Fatalf("second job is %s, want queued", snap.State)
+	}
+
+	if _, _, err := m.Submit(gatedSpec("jobs-gate-queue", 3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third Submit = %v, want ErrQueueFull", err)
+	}
+
+	// Cancelling the queued job is immediate, keeps it from running and
+	// frees its queue slot for new submissions.
+	if err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, queued.ID(), StateCancelled)
+	refill, _, err := m.Submit(gatedSpec("jobs-gate-queue", 4))
+	if err != nil {
+		t.Fatalf("submit after cancelling the queued job = %v; cancellation must free the slot", err)
+	}
+	if err := m.Cancel(refill.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	gateQueue.Release()
+	waitState(t, m, running.ID(), StateDone)
+	// Only the first job's grid (4 replications) ever entered the
+	// backend; the cancelled queued job was skipped when the runner
+	// drained it.
+	time.Sleep(10 * time.Millisecond)
+	if got, want := gateQueue.Started.Load()-baseStarted, int64(4); got != want {
+		t.Fatalf("%d backend runs started, want %d (cancelled queued job must not run)", got, want)
+	}
+}
+
+// TestManagerCloseCancelsInFlight: Close drives queued and running jobs
+// to a terminal state and rejects later submissions.
+func TestManagerCloseCancelsInFlight(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	gateClose.Reset()
+	m := NewManager(Config{QueueDepth: 4, Concurrency: 1})
+
+	running, _, err := m.Submit(gatedSpec("jobs-gate-close", 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID(), StateRunning)
+	queued, _, err := m.Submit(gatedSpec("jobs-gate-close", 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m.Close()
+	for _, id := range []string{running.ID(), queued.ID()} {
+		j, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap := j.Snapshot(); !snap.State.Terminal() {
+			t.Fatalf("job %s left in %s after Close", id, snap.State)
+		}
+	}
+	if _, _, err := m.Submit(gatedSpec("jobs-gate-close", 23)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestSubmitValidation: malformed specs are rejected before touching
+// the queue.
+func TestSubmitValidation(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	bad := gatedSpec("", 1)
+	bad.Replications = 0
+	if _, _, err := m.Submit(bad); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := m.Get("j999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get unknown = %v, want ErrNotFound", err)
+	}
+	if err := m.Cancel("j999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel unknown = %v, want ErrNotFound", err)
+	}
+}

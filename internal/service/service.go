@@ -1,0 +1,188 @@
+// Package service exposes the campaign job manager (internal/jobs) over
+// HTTP — the dlsimd daemon's API. The surface is deliberately small and
+// streaming-first:
+//
+//	POST   /v1/jobs               submit a CampaignSpec (JSON body)
+//	GET    /v1/jobs               list all jobs
+//	GET    /v1/jobs/{id}          one job's status and progress
+//	GET    /v1/jobs/{id}/results  stream results as JSON Lines or CSV
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET    /healthz               liveness probe
+//
+// Results are streamed through the engine's deterministic sink
+// pipeline: any number of clients fetching the same job receive
+// byte-identical output, whether the campaign ran live or was replayed
+// from the content-addressed store. A client disconnect cancels the
+// replay through the request context.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/jobs"
+)
+
+// Server routes HTTP requests to a job manager.
+type Server struct {
+	mgr *jobs.Manager
+}
+
+// New returns a server fronting the given manager.
+func New(mgr *jobs.Manager) *Server { return &Server{mgr: mgr} }
+
+// Handler builds the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.results)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// submitResponse extends the job snapshot with the dedup verdict for
+// this particular submission.
+type submitResponse struct {
+	jobs.Snapshot
+	Deduped bool `json:"deduped"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	// 1 MiB is far beyond any realistic grid description.
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var spec engine.CampaignSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode campaign spec: %v", err)
+		return
+	}
+	job, deduped, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{Snapshot: job.Snapshot(), Deduped: deduped})
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	job, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	job, err := s.mgr.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// results streams the job's per-run metrics. Query parameters:
+//
+//	format=jsonl|csv  output encoding (default jsonl)
+//	wait=0            fail with 409 instead of waiting for completion
+//
+// By default the handler waits for the job to finish (bounded by the
+// request context), then streams the deterministic event sequence; a
+// failed or cancelled job yields 409 with the job's error.
+func (s *Server) results(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, err := s.mgr.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	wait := true
+	if v := r.URL.Query().Get("wait"); v != "" {
+		wait, err = strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad wait parameter: %v", err)
+			return
+		}
+	}
+	snap := job.Snapshot()
+	if !snap.State.Terminal() {
+		if !wait {
+			writeError(w, http.StatusConflict, "job %s is %s", id, snap.State)
+			return
+		}
+		if snap, err = s.mgr.Wait(r.Context(), id); err != nil {
+			// Client went away (or shutdown); nothing sensible to write.
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+	}
+	if snap.State != jobs.StateDone {
+		writeError(w, http.StatusConflict, "job %s is %s: %s", id, snap.State, snap.Error)
+		return
+	}
+
+	var sink engine.Sink
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "jsonl":
+		w.Header().Set("Content-Type", "application/jsonl")
+		sink = engine.NewJSONLSink(w)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		sink = engine.NewCSVSink(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want jsonl or csv)", format)
+		return
+	}
+	w.Header().Set("X-Campaign-Hash", snap.Hash)
+	w.WriteHeader(http.StatusOK)
+	// Errors past this point cannot change the status code; a client
+	// disconnect cancels the replay via the request context and simply
+	// truncates the stream.
+	_ = s.mgr.Results(r.Context(), id, sink)
+}
