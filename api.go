@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/campaign"
 	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -257,11 +258,17 @@ func (c Config) campaignSpec(techniques []string, n int64, p int, runs int, poli
 // so repeated campaigns within one process skip the disk and JSON reads
 // entirely. Tiers are scoped per directory (not shared) so that a
 // campaign run against a second directory still populates that
-// directory's on-disk store. Entries live until process exit; each holds
-// the campaign's per-run metrics blob.
+// directory's on-disk store; each holds the campaign's per-run metrics
+// blobs. The map is LRU-bounded at procTierCap directories so a process
+// cycling through many cache directories cannot grow it without bound —
+// an evicted directory only loses its memory layer, the on-disk store
+// stays authoritative.
+const procTierCap = 16
+
 var (
 	procMu    sync.Mutex
 	procTiers = make(map[string]*cache.Memory)
+	procOrder []string // LRU order: least recently used first
 )
 
 func memTierFor(dir string) *cache.Memory {
@@ -270,11 +277,23 @@ func memTierFor(dir string) *cache.Memory {
 	}
 	procMu.Lock()
 	defer procMu.Unlock()
-	m, ok := procTiers[dir]
-	if !ok {
-		m = cache.NewMemory()
-		procTiers[dir] = m
+	if m, ok := procTiers[dir]; ok {
+		for i, d := range procOrder {
+			if d == dir {
+				procOrder = append(append(procOrder[:i:i], procOrder[i+1:]...), dir)
+				break
+			}
+		}
+		return m
 	}
+	if len(procTiers) >= procTierCap {
+		evict := procOrder[0]
+		procOrder = procOrder[1:]
+		delete(procTiers, evict)
+	}
+	m := cache.NewMemory()
+	procTiers[dir] = m
+	procOrder = append(procOrder, dir)
 	return m
 }
 
@@ -289,6 +308,21 @@ func (c Config) resultCache() (cache.Store, error) {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
 	return cache.NewTiered(memTierFor(c.cacheDir), disk), nil
+}
+
+// runCampaign executes a declarative campaign through a LocalRunner
+// configured from the facade options — the facade is a thin convenience
+// layer over the unified Runner API, so the same spec run here, through
+// campaign.NewLocal directly, or through a remote client.Client yields
+// bit-identical results.
+func (c Config) runCampaign(ctx context.Context, spec campaign.Spec) (*campaign.Result, error) {
+	store, err := c.resultCache()
+	if err != nil {
+		return nil, err
+	}
+	local := campaign.NewLocal(campaign.LocalConfig{Store: store, Workers: c.workers})
+	defer local.Close()
+	return campaign.Execute(ctx, local, spec, campaign.ExecOptions{})
 }
 
 // spec maps the facade configuration onto the engine's backend-neutral
@@ -388,11 +422,7 @@ func MeanWastedTimeContext(ctx context.Context, technique string, n int64, p int
 		return 0, err
 	}
 	if spec, ok := c.campaignSpec([]string{technique}, n, p, runs, engine.SeedFacade); ok {
-		store, err := c.resultCache()
-		if err != nil {
-			return 0, err
-		}
-		res, err := spec.Execute(ctx, engine.ExecConfig{Workers: c.workers, Cache: store})
+		res, err := c.runCampaign(ctx, spec)
 		if err != nil {
 			return 0, err
 		}
@@ -428,17 +458,23 @@ func CompareContext(ctx context.Context, techniques []string, n int64, p int, op
 	if len(techniques) == 0 {
 		return nil, fmt.Errorf("repro: Compare needs at least one technique")
 	}
+	// A duplicate name would silently collapse into one key of the
+	// returned map; reject it on every path (the declarative spec
+	// validation repeats this check for spec-level callers).
+	seen := make(map[string]struct{}, len(techniques))
+	for _, t := range techniques {
+		if _, dup := seen[t]; dup {
+			return nil, fmt.Errorf("repro: Compare: duplicate technique %q (each technique may appear once)", t)
+		}
+		seen[t] = struct{}{}
+	}
 	c, err := buildConfig(n, p, opts)
 	if err != nil {
 		return nil, err
 	}
-	var res *engine.CampaignResult
+	var res *campaign.Result
 	if spec, ok := c.campaignSpec(techniques, n, p, 1, engine.SeedShared); ok {
-		store, err := c.resultCache()
-		if err != nil {
-			return nil, err
-		}
-		res, err = spec.Execute(ctx, engine.ExecConfig{Workers: c.workers, Cache: store})
+		res, err = c.runCampaign(ctx, spec)
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,11 @@
 package repro
 
 import (
+	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/rng"
@@ -371,5 +374,59 @@ func TestWithCachePopulatesEverySeparateDirectory(t *testing.T) {
 		if len(entries) == 0 {
 			t.Fatalf("%s cache directory %s not populated", name, dir)
 		}
+	}
+}
+
+// TestCompareRejectsDuplicateTechniques: a duplicate name would
+// silently collapse into one key of the returned map.
+func TestCompareRejectsDuplicateTechniques(t *testing.T) {
+	if _, err := Compare([]string{"FAC2", "SS", "FAC2"}, 64, 2); err == nil ||
+		!strings.Contains(err.Error(), `duplicate technique "FAC2"`) {
+		t.Fatalf("Compare = %v, want duplicate technique error", err)
+	}
+	// The non-declarative path validates too.
+	if _, err := Compare([]string{"SS", "SS"}, 64, 2,
+		WithWorkload(workload.NewConstant(1))); err == nil ||
+		!strings.Contains(err.Error(), "duplicate technique") {
+		t.Fatalf("non-declarative Compare = %v, want duplicate technique error", err)
+	}
+}
+
+// TestProcTierLRUBound: the process-lifetime memory tier map must not
+// grow without bound when one process cycles through many cache
+// directories; eviction only drops the memory layer, never disk data.
+func TestProcTierLRUBound(t *testing.T) {
+	base := t.TempDir()
+	first := filepath.Join(base, "dir0")
+	m0 := memTierFor(first)
+	for i := 1; i < procTierCap+8; i++ {
+		memTierFor(filepath.Join(base, fmt.Sprintf("dir%d", i)))
+	}
+	procMu.Lock()
+	size := len(procTiers)
+	_, firstAlive := procTiers[first]
+	procMu.Unlock()
+	if size > procTierCap {
+		t.Fatalf("procTiers holds %d tiers, cap is %d", size, procTierCap)
+	}
+	if firstAlive {
+		t.Fatal("least-recently-used tier survived past the cap")
+	}
+	// A re-touched directory is most recently used and must survive.
+	touched := filepath.Join(base, fmt.Sprintf("dir%d", procTierCap))
+	memTierFor(touched)
+	for i := 0; i < procTierCap-1; i++ {
+		memTierFor(filepath.Join(base, fmt.Sprintf("fresh%d", i)))
+	}
+	procMu.Lock()
+	_, touchedAlive := procTiers[touched]
+	procMu.Unlock()
+	if !touchedAlive {
+		t.Fatal("most-recently-used tier evicted before older ones")
+	}
+	// A fresh tier for a reused directory still serves the disk store:
+	// campaigns only lose the memory layer on eviction.
+	if m1 := memTierFor(first); m1 == m0 {
+		t.Fatal("evicted tier instance resurrected; want a fresh memory layer")
 	}
 }

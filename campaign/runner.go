@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+)
+
+// Job is the handle a Runner returns for a submitted campaign.
+type Job struct {
+	// ID addresses the job in Wait, Stream and Cancel calls.
+	ID string `json:"id"`
+	// Hash is the campaign spec's canonical content address; identical
+	// specs share it, and runners deduplicate concurrent submissions on
+	// it.
+	Hash string `json:"hash"`
+	// Deduped reports that this submission joined an already queued or
+	// running job with the same hash instead of enqueuing a new
+	// execution.
+	Deduped bool `json:"deduped"`
+}
+
+// Runner is the one execution interface of the system: everything that
+// can run a campaign — the in-process engine (LocalRunner) or a dlsimd
+// daemon reached over HTTP (client.Client) — implements it, so callers
+// choose where a campaign executes without changing how they execute
+// it. Results are bit-identical across implementations for a given
+// spec.
+type Runner interface {
+	// Submit validates the spec and enqueues it, returning a job handle.
+	// Submitting a spec whose hash matches a queued or running job joins
+	// that job (Deduped true) instead of executing twice. A runner at
+	// queue capacity fails with an error matching ErrQueueFull; a
+	// shut-down runner with ErrClosed.
+	Submit(ctx context.Context, spec Spec) (Job, error)
+
+	// Wait blocks until the job reaches a terminal state (done, failed
+	// or cancelled) or ctx is cancelled, and returns its final snapshot.
+	Wait(ctx context.Context, id string) (Snapshot, error)
+
+	// Stream waits for the job to complete and delivers its per-run
+	// events to the sinks in deterministic (point, replication) order —
+	// the identical byte stream every consumer of this job observes.
+	// Every sink is closed exactly once, on success and error alike. A
+	// failed or cancelled job is an error.
+	Stream(ctx context.Context, id string, sinks ...Sink) error
+
+	// Cancel aborts a queued or running job. Cancelling a terminal job
+	// is a no-op; an unknown ID fails with an error matching
+	// ErrNotFound. Running jobs reach StateCancelled asynchronously —
+	// Wait for the terminal state.
+	Cancel(ctx context.Context, id string) error
+
+	// Describe reports the runner's capabilities: accepted techniques,
+	// backends and seed policies.
+	Describe(ctx context.Context) (Description, error)
+}
+
+// ExecOptions carries the execution parameters of a one-shot Execute
+// call — everything that may change how results arrive but never what
+// they are.
+type ExecOptions struct {
+	// KeepPerRun retains the per-run metrics in each Aggregate.
+	KeepPerRun bool
+	// Sinks additionally observe the ordered per-run event stream.
+	Sinks []Sink
+}
+
+// Executor is the optional synchronous fast path of a Runner. The
+// LocalRunner implements it by calling straight into the engine,
+// skipping the submit/wait/stream round trip; Execute uses it when
+// available.
+type Executor interface {
+	Execute(ctx context.Context, spec Spec, opts ExecOptions) (*Result, error)
+}
+
+// CloseSinks closes every sink exactly once, preserving first (or the
+// first close error when first is nil) — the shared tail of the Sink
+// contract every Runner implementation must honor on success and error
+// paths alike.
+func CloseSinks(first error, sinks ...Sink) error {
+	for _, s := range sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = fmt.Errorf("campaign: sink close: %w", err)
+		}
+	}
+	return first
+}
+
+// Execute runs one campaign through the runner from submission to
+// aggregated result. On a plain Runner it submits, waits, and feeds the
+// streamed events through an Aggregator — a deterministic fold, so the
+// returned aggregates are bit-identical to the ones a local execution
+// computes. Runners implementing Executor (LocalRunner) short-circuit
+// to their in-process path. Sinks in opts observe the event stream
+// either way and are closed exactly once on every path.
+func Execute(ctx context.Context, r Runner, spec Spec, opts ExecOptions) (*Result, error) {
+	if d, ok := r.(Executor); ok {
+		return d.Execute(ctx, spec, opts)
+	}
+	agg, err := spec.NewAggregator(opts.KeepPerRun)
+	if err != nil {
+		return nil, CloseSinks(err, opts.Sinks...)
+	}
+	job, err := r.Submit(ctx, spec)
+	if err != nil {
+		return nil, CloseSinks(err, opts.Sinks...)
+	}
+	// Stream waits for completion itself, surfaces failed/cancelled
+	// terminal states as errors, and closes every sink (including the
+	// aggregator, whose Close validates the stream was complete).
+	if err := r.Stream(ctx, job.ID, append([]Sink{agg}, opts.Sinks...)...); err != nil {
+		return nil, err
+	}
+	return agg.Result(), nil
+}
+
+// Run is Execute with default options: Run(ctx, r, spec, sinks...)
+// executes the campaign and returns its aggregates while the sinks
+// observe the per-run stream.
+func Run(ctx context.Context, r Runner, spec Spec, sinks ...Sink) (*Result, error) {
+	return Execute(ctx, r, spec, ExecOptions{Sinks: sinks})
+}

@@ -1,0 +1,348 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/campaign"
+)
+
+// Client speaks the dlsimd /v1 API. It is safe for concurrent use and
+// implements campaign.Runner — the remote counterpart of
+// campaign.LocalRunner.
+type Client struct {
+	base string // normalized base URL, no trailing slash
+	hc   *http.Client
+	ua   string
+}
+
+var _ campaign.Runner = (*Client)(nil)
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient installs the http.Client used for every request (e.g.
+// to add timeouts, TLS configuration or instrumentation). The default
+// client has no timeout — Wait and Stream legitimately block for as
+// long as a campaign runs; bound them per call through the context.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithUserAgent sets the User-Agent header sent with every request.
+func WithUserAgent(ua string) Option { return func(c *Client) { c.ua = ua } }
+
+// New returns a client for the service at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parse base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q has no host", baseURL)
+	}
+	c := &Client{
+		base: strings.TrimRight(u.String(), "/"),
+		hc:   &http.Client{},
+		ua:   "repro-client/" + campaign.APIVersion,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// APIError is a non-2xx response decoded from the service's structured
+// error envelope {"error": {"code", "message", "details"}}.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable machine-readable error code (campaign.Code*).
+	Code string
+	// Message is the human-readable description.
+	Message string
+	// Details carries code-specific context (offending parameter, job
+	// state, ...).
+	Details map[string]any
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// Unwrap maps stable error codes onto the campaign package's sentinel
+// errors, so errors.Is(err, campaign.ErrQueueFull) and friends hold for
+// remote failures exactly as for local ones.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case campaign.CodeQueueFull:
+		return campaign.ErrQueueFull
+	case campaign.CodeNotFound:
+		return campaign.ErrNotFound
+	case campaign.CodeShuttingDown:
+		return campaign.ErrClosed
+	}
+	return nil
+}
+
+// do issues one request and, on a non-2xx status, drains the body into
+// an *APIError. On success the response is returned with its body open;
+// the caller owns closing it.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte, accept string) (*http.Response, error) {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("User-Agent", c.ua)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var envelope campaign.ErrorEnvelope
+	apiErr := &APIError{Status: resp.StatusCode}
+	if err := json.Unmarshal(raw, &envelope); err == nil && envelope.Error.Code != "" {
+		apiErr.Code = envelope.Error.Code
+		apiErr.Message = envelope.Error.Message
+		apiErr.Details = envelope.Error.Details
+	} else {
+		// Not our envelope (proxy error page, older server): keep the
+		// raw body as the message under the generic code.
+		apiErr.Code = campaign.CodeInternal
+		apiErr.Message = strings.TrimSpace(string(raw))
+		if apiErr.Message == "" {
+			apiErr.Message = resp.Status
+		}
+	}
+	return nil, apiErr
+}
+
+// getJSON issues a GET and decodes the JSON response into out.
+func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, path, query, nil, "application/json")
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Submit implements campaign.Runner: POST /v1/jobs.
+func (c *Client) Submit(ctx context.Context, spec campaign.Spec) (campaign.Job, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return campaign.Job{}, fmt.Errorf("client: encode spec: %w", err)
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", nil, body, "application/json")
+	if err != nil {
+		return campaign.Job{}, err
+	}
+	defer drainClose(resp.Body)
+	var sub struct {
+		campaign.Snapshot
+		Deduped bool `json:"deduped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return campaign.Job{}, fmt.Errorf("client: decode submit response: %w", err)
+	}
+	return campaign.Job{ID: sub.ID, Hash: sub.Hash, Deduped: sub.Deduped}, nil
+}
+
+// Job returns one job's current status: GET /v1/jobs/{id}.
+func (c *Client) Job(ctx context.Context, id string) (campaign.Snapshot, error) {
+	var snap campaign.Snapshot
+	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id), nil, &snap)
+	return snap, err
+}
+
+// Wait implements campaign.Runner: GET /v1/jobs/{id}?wait=1, blocking
+// server-side until the job is terminal or ctx is cancelled.
+func (c *Client) Wait(ctx context.Context, id string) (campaign.Snapshot, error) {
+	var snap campaign.Snapshot
+	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id), url.Values{"wait": {"1"}}, &snap)
+	return snap, err
+}
+
+// ListOptions parameterize Jobs.
+type ListOptions struct {
+	// Limit bounds the page size; 0 returns everything.
+	Limit int
+	// After resumes listing after the job with this ID — the NextAfter
+	// cursor of the previous page.
+	After string
+}
+
+// JobList is one page of jobs. NextAfter, when non-empty, is the cursor
+// of the following page.
+type JobList struct {
+	Jobs      []campaign.Snapshot `json:"jobs"`
+	NextAfter string              `json:"next_after"`
+}
+
+// Jobs lists jobs in submission order: GET /v1/jobs?limit=&after=.
+func (c *Client) Jobs(ctx context.Context, opts ListOptions) (JobList, error) {
+	q := url.Values{}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.After != "" {
+		q.Set("after", opts.After)
+	}
+	var page JobList
+	err := c.getJSON(ctx, "/v1/jobs", q, &page)
+	return page, err
+}
+
+// Cancel implements campaign.Runner: DELETE /v1/jobs/{id}.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	resp, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, "application/json")
+	if err != nil {
+		return err
+	}
+	return drainClose(resp.Body)
+}
+
+// drainClose consumes the remainder of a response body before closing
+// it, so the underlying keep-alive connection is reusable instead of
+// being torn down.
+func drainClose(body io.ReadCloser) error {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	return body.Close()
+}
+
+// Results opens the job's raw result stream: GET /v1/jobs/{id}/results.
+// format is "jsonl" or "csv" ("" selects the server default, JSON
+// Lines). The handler waits for the job to finish before streaming; the
+// caller owns closing the reader, and cancelling ctx aborts the stream.
+func (c *Client) Results(ctx context.Context, id, format string) (io.ReadCloser, error) {
+	q := url.Values{}
+	if format != "" {
+		q.Set("format", format)
+	}
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/results", q, nil, "")
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// Stream implements campaign.Runner: it waits for the job, then decodes
+// the JSONL result stream back into events and delivers them to the
+// sinks in the service's deterministic order. Floats survive the wire
+// bit-exactly, so sink output (and aggregation) matches a local
+// execution byte for byte. Every sink is closed exactly once.
+//
+// Stream verifies completeness: a server-side failure after the stream
+// has started cannot change the HTTP status, it can only end the body
+// early — so the received event count is checked against the job's
+// total and a short stream is an error, never silent partial data.
+func (c *Client) Stream(ctx context.Context, id string, sinks ...campaign.Sink) error {
+	return campaign.CloseSinks(c.stream(ctx, id, sinks), sinks...)
+}
+
+func (c *Client) stream(ctx context.Context, id string, sinks []campaign.Sink) error {
+	// Wait first: the snapshot pins how many events a complete stream
+	// carries (and surfaces failed/cancelled states with the service's
+	// typed error before any bytes flow).
+	snap, err := c.Wait(ctx, id)
+	if err != nil {
+		return err
+	}
+	body, err := c.Results(ctx, id, "jsonl")
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var events int64
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		ev, err := campaign.DecodeEvent(line)
+		if err != nil {
+			return err
+		}
+		events++
+		for _, s := range sinks {
+			if err := s.Consume(ctx, ev); err != nil {
+				return fmt.Errorf("client: sink: %w", err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: read result stream: %w", err)
+	}
+	if events != snap.Total {
+		return fmt.Errorf("client: job %s result stream truncated: got %d of %d events", id, events, snap.Total)
+	}
+	return nil
+}
+
+// Describe implements campaign.Runner: GET /v1.
+func (c *Client) Describe(ctx context.Context) (campaign.Description, error) {
+	var d campaign.Description
+	err := c.getJSON(ctx, "/v1", nil, &d)
+	return d, err
+}
+
+// Techniques lists the technique names the service accepts:
+// GET /v1/techniques.
+func (c *Client) Techniques(ctx context.Context) ([]string, error) {
+	var out struct {
+		Techniques []string `json:"techniques"`
+	}
+	err := c.getJSON(ctx, "/v1/techniques", nil, &out)
+	return out.Techniques, err
+}
+
+// Backends lists the registered simulation backends: GET /v1/backends.
+func (c *Client) Backends(ctx context.Context) ([]string, error) {
+	var out struct {
+		Backends []string `json:"backends"`
+	}
+	err := c.getJSON(ctx, "/v1/backends", nil, &out)
+	return out.Backends, err
+}
+
+// Health checks the liveness probe: GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, "application/json")
+	if err != nil {
+		return err
+	}
+	return drainClose(resp.Body)
+}

@@ -1,0 +1,22 @@
+// Package client is the typed Go SDK for the dlsimd campaign service's
+// /v1 HTTP API. A Client implements campaign.Runner, so code written
+// against the Runner interface executes campaigns on a remote daemon
+// exactly as it would in-process — same specs, same deterministic
+// per-run event streams, bit-identical aggregates:
+//
+//	c, err := client.New("http://localhost:8080")
+//	if err != nil { ... }
+//	res, err := campaign.Run(ctx, c, spec) // identical to a LocalRunner run
+//
+// Beyond the Runner methods (Submit, Wait, Stream, Cancel, Describe),
+// the client exposes the full v1 surface: job status and paginated
+// listing (Job, Jobs), raw result streams in either encoding (Results),
+// discovery (Techniques, Backends) and the liveness probe (Health).
+//
+// Failures carry the service's structured error envelope as an
+// *APIError with the stable machine-readable code, and map onto the
+// campaign package's sentinel errors (ErrQueueFull, ErrNotFound,
+// ErrClosed) via errors.Is — so error handling is portable between the
+// local and remote runners. API.md at the repository root documents
+// every route, error code and pagination parameter.
+package client

@@ -22,6 +22,12 @@
 //	dlsim -tech FAC2 -n 8192 -p 64 -backend msg         # full MSG model
 //	dlsim -spec campaign.json -cache .dlsim-cache       # declarative grid
 //	dlsim -tech FAC -per-run 1000 -out runs.csv         # raw per-run data
+//	dlsim -spec campaign.json -server http://host:8080  # execute on a dlsimd daemon
+//
+// With -server the campaign executes remotely through the daemon's /v1
+// API (the repro/client SDK) instead of in-process; results — streamed
+// -out files and the printed aggregates alike — are bit-identical to a
+// local run of the same spec.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/campaign"
 	"repro/internal/ascii"
 	"repro/internal/cliutil"
 	"repro/internal/engine"
@@ -79,13 +86,29 @@ func run(ctx context.Context) error {
 		specFile = flag.String("spec", "", "execute the JSON campaign spec in this file (grid flags are ignored)")
 		cacheDir = flag.String("cache", "", "content-addressed result cache directory; repeated campaigns are served without re-simulation")
 		outFile  = flag.String("out", "", `stream per-run metrics to this file: .jsonl/.json selects JSON Lines, anything else CSV ("-" = CSV to stdout)`)
+		server   = flag.String("server", "", "dlsimd base URL (e.g. http://localhost:8080); campaigns execute remotely through the /v1 API instead of in-process")
 	)
 	flag.Parse()
 
+	if *server != "" {
+		switch {
+		case *replayIn != "":
+			return cliutil.Usagef("-replay needs local execution; drop -server")
+		case *traceOut != "" || *verbose:
+			return cliutil.Usagef("-trace and -v re-execute runs locally; drop -server")
+		case *cacheDir != "":
+			return cliutil.Usagef("-cache is the local result store; the server manages its own (drop -cache with -server)")
+		}
+	}
 	store, err := cliutil.OpenStore(*cacheDir)
 	if err != nil {
 		return err
 	}
+	runner, closeRunner, err := cliutil.NewRunner(*server, store, *workers)
+	if err != nil {
+		return err
+	}
+	defer closeRunner()
 	sinks, closeOut, err := cliutil.OpenOut(*outFile)
 	if err != nil {
 		return err
@@ -93,7 +116,7 @@ func run(ctx context.Context) error {
 	defer closeOut()
 
 	if *specFile != "" {
-		if err := cliutil.RunSpecFile(ctx, *specFile, *workers, store, sinks); err != nil {
+		if err := cliutil.RunSpecFile(ctx, *specFile, runner, sinks); err != nil {
 			return err
 		}
 		return closeOut()
@@ -180,7 +203,9 @@ func run(ctx context.Context) error {
 	var agg engine.Aggregate
 	if declarable {
 		// The flag-driven single point compiles to a declarative campaign
-		// spec, which makes it hashable and therefore cacheable.
+		// spec, which makes it hashable (therefore cacheable) and — being
+		// plain data — executable by any campaign.Runner, local or remote
+		// (-server).
 		cspec := engine.CampaignSpec{
 			Backend:    *backend,
 			Techniques: []string{*tech},
@@ -194,7 +219,7 @@ func run(ctx context.Context) error {
 			Seed:         *seed,
 			SeedPolicy:   engine.SeedFlat,
 		}
-		res, err := cspec.Execute(ctx, engine.ExecConfig{Workers: *workers, Cache: store, Sinks: sinks})
+		res, err := campaign.Run(ctx, runner, cspec, sinks...)
 		if err != nil {
 			return err
 		}

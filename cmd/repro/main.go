@@ -24,6 +24,11 @@
 // .jsonl suffix) while the campaign executes; for the csv subcommand
 // -out names the output directory.
 //
+// Grid experiments also accept -server URL: the campaigns then execute
+// on a remote dlsimd daemon through the typed /v1 client SDK
+// (repro/client) instead of in-process, with bit-identical results —
+// the figures and tables come out the same either way.
+//
 // Ctrl-C (or SIGTERM) cancels the in-flight campaign cleanly through
 // the engine's context plumbing: partial -out output is flushed and the
 // command exits with code 130. Usage errors exit 2, runtime failures 1
@@ -39,8 +44,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/campaign"
 	"repro/internal/ascii"
-	"repro/internal/cache"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -77,6 +82,8 @@ func run(ctx context.Context) error {
 		workers  = fs.Int("workers", 0, "concurrent runs (0 = all CPU cores); results are worker-count independent")
 		backend  = fs.String("backend", engine.DefaultBackend,
 			"simulation backend for grid experiments: "+strings.Join(engine.Names(), ", "))
+		server = fs.String("server", "",
+			"dlsimd base URL; grid campaigns (hagerup, fig9, extension, csv, spec) execute remotely through the /v1 API")
 	)
 	fs.Parse(os.Args[2:])
 
@@ -84,10 +91,21 @@ func run(ctx context.Context) error {
 		return cliutil.Usagef("seed equals the pinned reference seed; choose another (DESIGN.md §3.2)")
 	}
 
+	if *server != "" && *cacheDir != "" {
+		return cliutil.Usagef("-cache is the local result store; the server manages its own (drop -cache with -server)")
+	}
 	store, err := cliutil.OpenStore(*cacheDir)
 	if err != nil {
 		return err
 	}
+	// The runner is where grid campaigns execute: in-process over the
+	// local store by default, a remote dlsimd daemon with -server —
+	// bit-identical results either way.
+	runner, closeRunner, err := cliutil.NewRunner(*server, store, *workers)
+	if err != nil {
+		return err
+	}
+	defer closeRunner()
 
 	// Subcommands streaming per-run metrics share one sink set; closeOut
 	// is idempotent and deferred so a cancelled campaign still flushes
@@ -105,7 +123,7 @@ func run(ctx context.Context) error {
 			return err
 		}
 		defer closeOut()
-		if _, err := runHagerup(ctx, *n, *runs, *seed, false, *backend, *workers, store, sinks); err != nil {
+		if _, err := runHagerup(ctx, *n, *runs, *seed, false, *backend, runner, sinks); err != nil {
 			return err
 		}
 		return closeOut()
@@ -115,7 +133,7 @@ func run(ctx context.Context) error {
 			return err
 		}
 		defer closeOut()
-		if err := runFig9(ctx, *runs, *seed, *backend, *workers, store, sinks); err != nil {
+		if err := runFig9(ctx, *runs, *seed, *backend, runner, sinks); err != nil {
 			return err
 		}
 		return closeOut()
@@ -124,13 +142,13 @@ func run(ctx context.Context) error {
 	case "verify":
 		return runVerify(ctx, *runs, *seed)
 	case "extension":
-		return runExtension(ctx, *runs, *seed, *backend, *workers, store)
+		return runExtension(ctx, *runs, *seed, *backend, runner)
 	case "csv":
 		dir := *out
 		if dir == "" {
 			dir = "rawdata"
 		}
-		return exportCSV(ctx, dir, *runs, *seed, *backend, *workers, store)
+		return exportCSV(ctx, dir, *runs, *seed, *backend, runner)
 	case "spec":
 		if *specFile == "" {
 			return cliutil.Usagef("spec: -spec FILE is required")
@@ -140,7 +158,7 @@ func run(ctx context.Context) error {
 			return err
 		}
 		defer closeOut()
-		if err := cliutil.RunSpecFile(ctx, *specFile, *workers, store, sinks); err != nil {
+		if err := cliutil.RunSpecFile(ctx, *specFile, runner, sinks); err != nil {
 			return err
 		}
 		return closeOut()
@@ -155,11 +173,11 @@ func run(ctx context.Context) error {
 			return err
 		}
 		for _, nn := range []int64{1024, 8192, 65536, 524288} {
-			if _, err := runHagerup(ctx, nn, *runs, *seed, false, *backend, *workers, store, nil); err != nil {
+			if _, err := runHagerup(ctx, nn, *runs, *seed, false, *backend, runner, nil); err != nil {
 				return err
 			}
 		}
-		return runFig9(ctx, *runs, *seed, *backend, *workers, store, nil)
+		return runFig9(ctx, *runs, *seed, *backend, runner, nil)
 	default:
 		usage()
 		return cliutil.Usagef("unknown subcommand %q", cmd)
@@ -217,14 +235,13 @@ func runVerify(ctx context.Context, runs int, seed uint64) error {
 // runExtension executes the paper's §VI future work: the TAP/WF/AWF*/AF
 // techniques on the Hagerup grid, plus the TSS publication's GSS(k) and
 // CSS(k) parameter sweeps.
-func runExtension(ctx context.Context, runs int, seed uint64, backend string, workers int, store cache.Store) error {
+func runExtension(ctx context.Context, runs int, seed uint64, backend string, runner campaign.Runner) error {
 	fmt.Println("\n=== Extension: future-work techniques (paper §VI) on the Hagerup grid ===")
 	spec := experiment.FutureWorkSpec(seed)
 	spec.Ns = []int64{8192}
 	spec.Runs = runs
 	spec.Backend = backend
-	spec.Workers = workers
-	spec.Cache = store
+	spec.Runner = runner
 	log.Printf("future-work grid: n=8192, %d runs per cell...", runs)
 	res, err := experiment.RunHagerup(ctx, spec)
 	if err != nil {
@@ -352,7 +369,7 @@ func tzenVerdict(exp int, res *experiment.TzenResult) string {
 
 // runHagerup reproduces one of Figures 5–8: panels (a) reference values,
 // (b) simulation values, (c) discrepancy, (d) relative discrepancy.
-func runHagerup(ctx context.Context, n int64, runs int, seed uint64, keepPerRun bool, backend string, workers int, store cache.Store, sinks []engine.Sink) (*experiment.HagerupResult, error) {
+func runHagerup(ctx context.Context, n int64, runs int, seed uint64, keepPerRun bool, backend string, runner campaign.Runner, sinks []engine.Sink) (*experiment.HagerupResult, error) {
 	figure := map[int64]int{1024: 5, 8192: 6, 65536: 7, 524288: 8}[n]
 	if figure == 0 {
 		return nil, cliutil.Usagef("hagerup: n must be one of 1024, 8192, 65536, 524288 (Table III); got %d", n)
@@ -362,8 +379,7 @@ func runHagerup(ctx context.Context, n int64, runs int, seed uint64, keepPerRun 
 	spec.Runs = runs
 	spec.KeepPerRun = keepPerRun
 	spec.Backend = backend
-	spec.Workers = workers
-	spec.Cache = store
+	spec.Runner = runner
 	spec.Sinks = sinks
 	log.Printf("Figure %d: %d tasks, %d runs per cell...", figure, n, runs)
 	res, err := experiment.RunHagerup(ctx, spec)
@@ -446,7 +462,7 @@ func printWastedTable(ps []int, value func(tech string, p int) float64) {
 // runFig9 reproduces Figure 9: the average wasted time of each run of
 // FAC with 2 workers and 524,288 tasks, plus the outlier analysis of
 // §IV-B4.
-func runFig9(ctx context.Context, runs int, seed uint64, backend string, workers int, store cache.Store, sinks []engine.Sink) error {
+func runFig9(ctx context.Context, runs int, seed uint64, backend string, runner campaign.Runner, sinks []engine.Sink) error {
 	log.Printf("Figure 9: FAC, 2 PEs, 524288 tasks, %d runs...", runs)
 	spec := experiment.HagerupGrid(seed)
 	spec.Techniques = []string{"FAC"}
@@ -455,8 +471,7 @@ func runFig9(ctx context.Context, runs int, seed uint64, backend string, workers
 	spec.Runs = runs
 	spec.KeepPerRun = true
 	spec.Backend = backend
-	spec.Workers = workers
-	spec.Cache = store
+	spec.Runner = runner
 	spec.Sinks = sinks
 	res, err := experiment.RunHagerup(ctx, spec)
 	if err != nil {
@@ -533,7 +548,7 @@ func printTables() error {
 }
 
 // exportCSV writes the raw data of all experiments (paper §V).
-func exportCSV(ctx context.Context, dir string, runs int, seed uint64, backend string, workers int, store cache.Store) error {
+func exportCSV(ctx context.Context, dir string, runs int, seed uint64, backend string, runner campaign.Runner) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -554,8 +569,7 @@ func exportCSV(ctx context.Context, dir string, runs int, seed uint64, backend s
 	spec := experiment.HagerupGrid(seed)
 	spec.Runs = runs
 	spec.Backend = backend
-	spec.Workers = workers
-	spec.Cache = store
+	spec.Runner = runner
 	res, err := experiment.RunHagerup(ctx, spec)
 	if err != nil {
 		return err
@@ -573,8 +587,7 @@ func exportCSV(ctx context.Context, dir string, runs int, seed uint64, backend s
 	f9.Runs = runs
 	f9.KeepPerRun = true
 	f9.Backend = backend
-	f9.Workers = workers
-	f9.Cache = store
+	f9.Runner = runner
 	r9, err := experiment.RunHagerup(ctx, f9)
 	if err != nil {
 		return err

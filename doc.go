@@ -8,8 +8,19 @@
 // (DLS) techniques by reproducing scheduling experiments from the TSS
 // publication (Tzen & Ni 1993) and the BOLD publication (Hagerup 1997).
 //
-// The package itself is a thin, stable facade over the full system:
+// The package itself is a thin, stable facade over the full system —
+// since the unified Runner API it is a convenience layer over a
+// campaign.LocalRunner:
 //
+//   - campaign — the public execution API: declarative Spec (grid ×
+//     replications × seed policy as hashable plain data), per-run Event
+//     streaming into Sinks, client-side Aggregator, and the Runner
+//     interface (Submit, Wait, Stream, Cancel, Describe) that makes
+//     local and remote execution interchangeable
+//   - client — the typed Go SDK for the dlsimd /v1 HTTP API; a
+//     client.Client implements campaign.Runner, and the same Spec run
+//     locally or remotely yields bit-identical streams and aggregates
+//     (API.md documents the wire contract)
 //   - internal/sched — the 15 DLS chunk calculators (STAT, SS, CSS, FSC,
 //     GSS, TSS, FAC, FAC2, BOLD, TAP, WF, AWF, AWF-B, AWF-C, AF)
 //   - internal/engine — the unified simulation layer: pluggable Backend
@@ -50,6 +61,11 @@
 // campaign pipeline; results are bit-identical to a serial loop for a
 // given seed, and WithCache(dir) serves repeated campaigns from the
 // content-addressed result store without re-simulation.
+//
+// Multi-run entry points validate their inputs strictly: a duplicate
+// technique in Compare (which would silently collapse into one map
+// key) is rejected with a descriptive error, as it is at the campaign
+// spec level.
 //
 // Execution is context-aware end to end: the Context variants
 // (SimulateContext, MeanWastedTimeContext, CompareContext) — and every

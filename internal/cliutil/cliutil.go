@@ -21,6 +21,8 @@ import (
 	"sync"
 	"syscall"
 
+	"repro/campaign"
+	"repro/client"
 	"repro/internal/ascii"
 	"repro/internal/cache"
 	"repro/internal/engine"
@@ -136,11 +138,30 @@ func OpenOut(path string) ([]engine.Sink, func() error, error) {
 	return []engine.Sink{sink}, closeOut, nil
 }
 
+// NewRunner builds the campaign runner the -server flag selects: a
+// remote client.Client speaking the dlsimd /v1 API when server names a
+// base URL, otherwise an in-process LocalRunner over the given store
+// and worker bound. The cleanup function releases the local runner's
+// resources (it is a no-op for the remote client) and is safe to defer.
+// A malformed server URL is a usage error.
+func NewRunner(server string, store cache.Store, workers int) (campaign.Runner, func(), error) {
+	if server == "" {
+		local := campaign.NewLocal(campaign.LocalConfig{Store: store, Workers: workers})
+		return local, local.Close, nil
+	}
+	c, err := client.New(server)
+	if err != nil {
+		return nil, nil, Usagef("server: %v", err)
+	}
+	return c, func() {}, nil
+}
+
 // RunSpecFile executes the declarative campaign spec in the given JSON
-// file and prints one aggregate row per grid point. An unreadable or
-// invalid spec file is a usage error; cancelling ctx aborts the
-// campaign with a cancellation error.
-func RunSpecFile(ctx context.Context, path string, workers int, store cache.Store, sinks []engine.Sink) error {
+// file through the runner — in-process or a remote dlsimd — and prints
+// one aggregate row per grid point. An unreadable or invalid spec file
+// is a usage error; cancelling ctx aborts the campaign with a
+// cancellation error.
+func RunSpecFile(ctx context.Context, path string, r campaign.Runner, sinks []engine.Sink) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Usagef("spec: %v", err)
@@ -153,7 +174,7 @@ func RunSpecFile(ctx context.Context, path string, workers int, store cache.Stor
 	if err != nil {
 		return err
 	}
-	res, err := spec.Execute(ctx, engine.ExecConfig{Workers: workers, Cache: store, Sinks: sinks})
+	res, err := campaign.Run(ctx, r, spec, sinks...)
 	if err != nil {
 		return err
 	}

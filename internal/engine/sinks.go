@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"fmt"
 	"io"
 	"strconv"
 )
@@ -93,3 +94,31 @@ func (s *JSONLSink) Consume(_ context.Context, ev Event) error {
 
 // Close is a no-op; the encoder writes through.
 func (s *JSONLSink) Close() error { return nil }
+
+// DecodeJSONLEvent parses one line of JSONLSink output back into an
+// Event. It lives next to the encoder so the two can never drift: a
+// remote consumer decoding a dlsimd result stream reconstructs exactly
+// the metrics the producing pipeline emitted (floats are encoded in
+// shortest round-trip form, so the bits survive the trip). Unknown
+// fields are ignored — the v1 contract permits additive row fields, so
+// the reader must stay tolerant of producers newer than itself. The
+// reconstructed Spec carries only the row's identifying coordinates
+// (Technique, N, P) — the workload, seeds and parameters live in the
+// campaign spec the stream was produced from.
+func DecodeJSONLEvent(line []byte) (Event, error) {
+	var row jsonlRow
+	if err := json.Unmarshal(line, &row); err != nil {
+		return Event{}, fmt.Errorf("engine: decode result line: %w", err)
+	}
+	return Event{
+		Point: row.Point,
+		Rep:   row.Rep,
+		Spec:  RunSpec{Technique: row.Technique, N: row.N, P: row.P},
+		Metrics: RunMetrics{
+			Makespan: row.Makespan,
+			Wasted:   row.Wasted,
+			Speedup:  row.Speedup,
+			SchedOps: row.SchedOps,
+		},
+	}, nil
+}

@@ -108,6 +108,16 @@ func (s CampaignSpec) Validate() error {
 	if len(s.Techniques) == 0 || len(s.Ns) == 0 || len(s.Ps) == 0 {
 		return fmt.Errorf("engine: campaign spec: empty technique/n/p lists")
 	}
+	// A duplicate technique would silently collapse into one key in every
+	// by-technique view of the results (Compare's map, result tables), so
+	// it is almost certainly a caller mistake; reject it loudly.
+	seen := make(map[string]struct{}, len(s.Techniques))
+	for _, tech := range s.Techniques {
+		if _, dup := seen[tech]; dup {
+			return fmt.Errorf("engine: campaign spec: duplicate technique %q (each technique may appear once)", tech)
+		}
+		seen[tech] = struct{}{}
+	}
 	if s.Replications <= 0 {
 		return fmt.Errorf("engine: campaign spec: replications must be positive, got %d", s.Replications)
 	}

@@ -119,6 +119,7 @@ func TestSpecValidateErrors(t *testing.T) {
 		{"p=0", func(s *CampaignSpec) { s.Ps = []int{0} }},
 		{"bad technique", func(s *CampaignSpec) { s.Techniques = []string{"LIFO"} }},
 		{"bad workload", func(s *CampaignSpec) { s.Workload = workload.Spec{Kind: "cauchy"} }},
+		{"duplicate technique", func(s *CampaignSpec) { s.Techniques = []string{"FAC2", "SS", "FAC2"} }},
 	}
 	for _, tc := range cases {
 		s := testSpec()

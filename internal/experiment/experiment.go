@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/campaign"
 	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -47,6 +48,14 @@ type HagerupSpec struct {
 	// Sinks additionally observe every run's metrics as a deterministic
 	// stream (e.g. engine.NewCSVSink for raw-data export).
 	Sinks []engine.Sink
+
+	// Runner, when non-nil, executes the grid through the unified
+	// campaign Runner API instead of calling the engine directly — e.g.
+	// a client.Client running the experiment on a remote dlsimd (the
+	// repro CLI's -server flag). Cache and Workers then only apply to
+	// local runners, which carry their own; results are bit-identical
+	// either way.
+	Runner campaign.Runner
 }
 
 // Validate checks the spec for usability.
@@ -176,12 +185,23 @@ func RunHagerup(ctx context.Context, spec HagerupSpec) (*HagerupResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := spec.CampaignSpec().Execute(ctx, engine.ExecConfig{
-		Workers:    spec.Workers,
-		KeepPerRun: spec.KeepPerRun,
-		Cache:      spec.Cache,
-		Sinks:      spec.Sinks,
-	})
+	var (
+		res *engine.CampaignResult
+		err error
+	)
+	if spec.Runner != nil {
+		res, err = campaign.Execute(ctx, spec.Runner, spec.CampaignSpec(), campaign.ExecOptions{
+			KeepPerRun: spec.KeepPerRun,
+			Sinks:      spec.Sinks,
+		})
+	} else {
+		res, err = spec.CampaignSpec().Execute(ctx, engine.ExecConfig{
+			Workers:    spec.Workers,
+			KeepPerRun: spec.KeepPerRun,
+			Cache:      spec.Cache,
+			Sinks:      spec.Sinks,
+		})
+	}
 	if err != nil {
 		return nil, err
 	}

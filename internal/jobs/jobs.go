@@ -282,18 +282,51 @@ func (m *Manager) Get(id string) (*Job, error) {
 
 // List snapshots every job in submission order.
 func (m *Manager) List() []Snapshot {
+	out, _, _ := m.ListPage("", 0)
+	return out
+}
+
+// ListPage snapshots jobs in submission order, starting after the job
+// with ID after ("" starts at the beginning) and returning at most limit
+// jobs (0 means no bound). When jobs remain beyond the returned page,
+// next is the last returned job's ID — pass it as the next call's after
+// to continue; next is "" on the final page. An unknown after fails with
+// ErrNotFound, so a paginating client can distinguish "end of list" from
+// "bad cursor".
+func (m *Manager) ListPage(after string, limit int) (page []Snapshot, next string, err error) {
 	m.mu.Lock()
-	ids := append([]string(nil), m.order...)
+	start := 0
+	if after != "" {
+		if _, ok := m.jobs[after]; !ok {
+			m.mu.Unlock()
+			return nil, "", fmt.Errorf("%w: cursor %q", ErrNotFound, after)
+		}
+		for i, id := range m.order {
+			if id == after {
+				start = i + 1
+				break
+			}
+		}
+	}
+	ids := m.order[start:]
+	more := false
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+		more = true
+	}
 	jobs := make([]*Job, 0, len(ids))
 	for _, id := range ids {
 		jobs = append(jobs, m.jobs[id])
 	}
 	m.mu.Unlock()
-	out := make([]Snapshot, len(jobs))
+	page = make([]Snapshot, len(jobs))
 	for i, j := range jobs {
-		out[i] = j.Snapshot()
+		page[i] = j.Snapshot()
 	}
-	return out
+	if more {
+		next = page[len(page)-1].ID
+	}
+	return page, next, nil
 }
 
 // Cancel transitions the job out of the queue (if still queued) or

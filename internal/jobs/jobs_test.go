@@ -313,3 +313,62 @@ func TestSubmitValidation(t *testing.T) {
 		t.Fatalf("Cancel unknown = %v, want ErrNotFound", err)
 	}
 }
+
+// TestListPage pins the pagination contract: submission order, limit
+// truncation with a resumable cursor, and a loud error for an unknown
+// cursor (so clients can tell "end of list" from "bad cursor").
+func TestListPage(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+
+	var ids []string
+	for seed := uint64(1); seed <= 5; seed++ {
+		j, _, err := m.Submit(gatedSpec("", seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID())
+	}
+
+	var walked []string
+	after := ""
+	for pages := 0; ; pages++ {
+		if pages > 5 {
+			t.Fatal("pagination does not terminate")
+		}
+		page, next, err := m.ListPage(after, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range page {
+			walked = append(walked, s.ID)
+		}
+		if next == "" {
+			if len(page) == 0 && len(walked) < len(ids) {
+				t.Fatal("empty page before the list was exhausted")
+			}
+			break
+		}
+		if next != page[len(page)-1].ID {
+			t.Fatalf("cursor %s is not the last returned ID %s", next, page[len(page)-1].ID)
+		}
+		after = next
+	}
+	if strings.Join(walked, ",") != strings.Join(ids, ",") {
+		t.Fatalf("paged walk %v != submission order %v", walked, ids)
+	}
+
+	all, next, err := m.ListPage("", 0)
+	if err != nil || next != "" || len(all) != 5 {
+		t.Fatalf("unbounded page = %d jobs, next %q, err %v", len(all), next, err)
+	}
+	if last, next, err := m.ListPage(ids[4], 2); err != nil || next != "" || len(last) != 0 {
+		t.Fatalf("page after the final job = %d jobs, next %q, err %v", len(last), next, err)
+	}
+	if _, _, err := m.ListPage("j999", 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown cursor = %v, want ErrNotFound", err)
+	}
+	if got := len(m.List()); got != 5 {
+		t.Fatalf("List() = %d jobs, want 5", got)
+	}
+}

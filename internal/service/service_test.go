@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/campaign"
 	"repro/internal/engine"
 	"repro/internal/jobs"
 	"repro/internal/testutil"
@@ -266,5 +267,111 @@ func TestServiceErrorsAndHealth(t *testing.T) {
 	}
 	if code, _ := c.do(http.MethodGet, "/v1/jobs/"+id+"/results?format=xml", nil); code != http.StatusBadRequest {
 		t.Fatalf("unknown format = %d, want 400", code)
+	}
+}
+
+// TestServiceDiscoveryAndEnvelope covers the v1 discovery endpoints and
+// the structured error envelope's wire shape.
+func TestServiceDiscoveryAndEnvelope(t *testing.T) {
+	mgr := jobs.NewManager(jobs.Config{})
+	srv := httptest.NewServer(New(mgr).Handler())
+	defer func() {
+		srv.Close()
+		mgr.Close()
+	}()
+	c := &client{t: t, base: srv.URL}
+
+	var desc campaign.Description
+	code, body := c.do(http.MethodGet, "/v1", nil)
+	if err := json.Unmarshal(body, &desc); err != nil || code != http.StatusOK {
+		t.Fatalf("GET /v1 = %d (%v): %s", code, err, body)
+	}
+	if desc.Service != "dlsimd" || desc.APIVersion != campaign.APIVersion ||
+		len(desc.Techniques) == 0 || len(desc.Backends) == 0 || len(desc.SeedPolicies) != 4 {
+		t.Fatalf("description = %+v", desc)
+	}
+	code, body = c.do(http.MethodGet, "/v1/techniques", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), "FAC2") {
+		t.Fatalf("GET /v1/techniques = %d: %s", code, body)
+	}
+	code, body = c.do(http.MethodGet, "/v1/backends", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), "sim") {
+		t.Fatalf("GET /v1/backends = %d: %s", code, body)
+	}
+
+	// Every failure is the structured envelope with a stable code.
+	code, body = c.do(http.MethodGet, "/v1/jobs/j999", nil)
+	var envelope struct {
+		Error struct {
+			Code    string         `json:"code"`
+			Message string         `json:"message"`
+			Details map[string]any `json:"details"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil || code != http.StatusNotFound {
+		t.Fatalf("GET unknown job = %d (%v): %s", code, err, body)
+	}
+	if envelope.Error.Code != campaign.CodeNotFound || envelope.Error.Message == "" ||
+		envelope.Error.Details["id"] != "j999" {
+		t.Fatalf("envelope = %+v", envelope.Error)
+	}
+
+	// Pagination parameters are validated and reported in the envelope.
+	if code, body := c.do(http.MethodGet, "/v1/jobs?limit=banana", nil); code != http.StatusBadRequest ||
+		!strings.Contains(string(body), campaign.CodeInvalidArgument) {
+		t.Fatalf("bad limit = %d: %s", code, body)
+	}
+	if code, body := c.do(http.MethodGet, "/v1/jobs?after=j999", nil); code != http.StatusNotFound ||
+		!strings.Contains(string(body), campaign.CodeNotFound) {
+		t.Fatalf("bad cursor = %d: %s", code, body)
+	}
+
+	// status ?wait=1 blocks until the job is terminal, so one round trip
+	// observes the done state with no polling.
+	id, _ := c.submit(specJSON(t, "", 99, 2))
+	code, body = c.do(http.MethodGet, "/v1/jobs/"+id+"?wait=1", nil)
+	var snap jobs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil || code != http.StatusOK {
+		t.Fatalf("wait=1 = %d (%v): %s", code, err, body)
+	}
+	if snap.State != jobs.StateDone {
+		t.Fatalf("wait=1 returned state %s, want done", snap.State)
+	}
+}
+
+// TestNegotiateFormat pins the Accept-header negotiation, including
+// q-values: a client that explicitly refuses an encoding never gets it.
+func TestNegotiateFormat(t *testing.T) {
+	cases := []struct {
+		query, accept, want string
+		status              int
+	}{
+		{"", "", "jsonl", 0},
+		{"format=csv", "application/jsonl", "csv", 0}, // explicit format wins
+		{"format=xml", "", "", http.StatusBadRequest}, // unsupported explicit format
+		{"", "text/csv", "csv", 0},
+		{"", "application/jsonl", "jsonl", 0},
+		{"", "application/x-ndjson", "jsonl", 0},
+		{"", "*/*", "jsonl", 0},
+		{"", "application/jsonl, text/csv;q=0", "jsonl", 0}, // CSV refused
+		{"", "text/csv;q=0.1, application/jsonl;q=0.9", "jsonl", 0},
+		{"", "application/jsonl;q=0.2, text/csv;q=0.8", "csv", 0},
+		{"", "text/*", "csv", 0},
+		{"", "text/html", "jsonl", 0}, // nothing we serve: lenient default
+		// Everything we serve explicitly refused: 406, never a refused
+		// encoding.
+		{"", "application/json;q=0", "", http.StatusNotAcceptable},
+		{"", "application/jsonl;q=0, text/csv;q=0", "", http.StatusNotAcceptable},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(http.MethodGet, "/v1/jobs/j1/results?"+tc.query, nil)
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		got, status := negotiateFormat(req)
+		if got != tc.want || status != tc.status {
+			t.Errorf("negotiateFormat(query=%q, accept=%q) = (%q, %d), want (%q, %d)",
+				tc.query, tc.accept, got, status, tc.want, tc.status)
+		}
 	}
 }
