@@ -1,22 +1,31 @@
 // Command benchtraj emits the repo's machine-readable performance
-// trajectory: it measures campaign throughput (runs per second) through
-// the engine's streaming pipeline under the configurations future PRs
-// need to compare against — sequential vs parallel execution and live
-// vs cache-replayed results — and writes them as one JSON document
-// (BENCH_PR3.json at the repo root for this PR).
+// trajectory: it measures campaign throughput (runs per second) and the
+// per-run allocation profile through the engine's streaming pipeline
+// under the configurations future PRs need to compare against —
+// sequential vs parallel execution and live vs cache-replayed results —
+// and writes them as one JSON document (BENCH_PR5.json at the repo root
+// for this PR, next to the earlier BENCH_PR3.json).
 //
 // It complements `go test -bench` (which guards against regressions in
 // relative terms on a developer's machine) by recording absolute
 // throughput numbers in a stable schema that CI artifacts and later
 // PRs can diff:
 //
-//	go run ./cmd/benchtraj -out BENCH_PR3.json
+//	go run ./cmd/benchtraj -out BENCH_PR5.json
 //	go run ./cmd/benchtraj -reps 50 -out /dev/stdout   # quick look
 //
 // Every measurement executes the identical declarative campaign spec,
 // so the work per run is constant across configurations and PRs
 // (changing the spec bumps the schema's spec_hash, making stale
-// comparisons detectable).
+// comparisons detectable). BENCH_PR5.json's spec hash matches
+// BENCH_PR3.json's, so the two documents are directly comparable.
+//
+// For drilling into where time and memory go, -cpuprofile and
+// -memprofile write pprof profiles covering the live (non-cached)
+// measurements:
+//
+//	go run ./cmd/benchtraj -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/cache"
@@ -37,12 +47,13 @@ import (
 
 // measurement is one throughput sample.
 type measurement struct {
-	Name       string  `json:"name"`    // e.g. "campaign/parallel"
-	Workers    int     `json:"workers"` // 0 = GOMAXPROCS
-	Cached     bool    `json:"cached"`  // served from the result store
-	Runs       int64   `json:"runs"`    // simulated runs per iteration
-	Seconds    float64 `json:"seconds"` // best iteration wall time
-	RunsPerSec float64 `json:"runs_per_sec"`
+	Name        string  `json:"name"`    // e.g. "campaign/parallel"
+	Workers     int     `json:"workers"` // 0 = GOMAXPROCS
+	Cached      bool    `json:"cached"`  // served from the result store
+	Runs        int64   `json:"runs"`    // simulated runs per iteration
+	Seconds     float64 `json:"seconds"` // best iteration wall time
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_run"` // heap allocations per simulated run (min across iterations)
 }
 
 // report is the trajectory document. Schema changes must bump Schema.
@@ -65,6 +76,22 @@ type derived struct {
 	CacheSpeedup    float64 `json:"cache_speedup"`    // cached vs parallel live
 }
 
+// countingExec runs one campaign execution and returns its wall time and
+// the heap allocations performed during it. ReadMemStats is global, so
+// the count includes pipeline bookkeeping — exactly what the trajectory
+// should charge per run.
+func countingExec(ctx context.Context, spec engine.CampaignSpec, cfg engine.ExecConfig) (secs float64, allocs uint64, err error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if _, err := spec.Execute(ctx, cfg); err != nil {
+		return 0, 0, err
+	}
+	secs = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	return secs, after.Mallocs - before.Mallocs, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtraj: ")
@@ -74,9 +101,11 @@ func main() {
 
 func run() error {
 	var (
-		out   = flag.String("out", "BENCH_PR3.json", "output file for the trajectory document")
-		reps  = flag.Int("reps", 250, "replications per campaign point")
-		iters = flag.Int("iters", 3, "iterations per measurement (best is reported)")
+		out        = flag.String("out", "BENCH_PR5.json", "output file for the trajectory document")
+		reps       = flag.Int("reps", 250, "replications per campaign point")
+		iters      = flag.Int("iters", 3, "iterations per measurement (best is reported)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the live measurements to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (after the live measurements) to this file")
 	)
 	flag.Parse()
 	if *reps <= 0 || *iters <= 0 {
@@ -105,21 +134,36 @@ func run() error {
 
 	measure := func(name string, workers int, store cache.Store, cached bool) (measurement, error) {
 		best := measurement{Name: name, Workers: workers, Cached: cached, Runs: totalRuns}
+		var minAllocs uint64
 		for i := 0; i < *iters; i++ {
-			start := time.Now()
-			if _, err := spec.Execute(ctx, engine.ExecConfig{Workers: workers, Cache: store}); err != nil {
+			secs, allocs, err := countingExec(ctx, spec, engine.ExecConfig{Workers: workers, Cache: store})
+			if err != nil {
 				return measurement{}, fmt.Errorf("%s: %w", name, err)
 			}
-			secs := time.Since(start).Seconds()
 			if best.Seconds == 0 || secs < best.Seconds {
 				best.Seconds = secs
 			}
+			if i == 0 || allocs < minAllocs {
+				minAllocs = allocs
+			}
 		}
 		best.RunsPerSec = float64(totalRuns) / best.Seconds
-		log.Printf("%-20s %8.0f runs/s  (%d runs in %.3fs)", name, best.RunsPerSec, totalRuns, best.Seconds)
+		best.AllocsPerOp = float64(minAllocs) / float64(totalRuns)
+		log.Printf("%-20s %8.0f runs/s  %6.2f allocs/run  (%d runs in %.3fs)",
+			name, best.RunsPerSec, best.AllocsPerOp, totalRuns, best.Seconds)
 		return best, nil
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+	}
 	seq, err := measure("campaign/sequential", 1, nil, false)
 	if err != nil {
 		return err
@@ -127,6 +171,23 @@ func run() error {
 	par, err := measure("campaign/parallel", 0, nil, false)
 	if err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle live objects before the heap snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	// Cached replay: populate the store once live, then measure replays.
 	store := cache.NewMemory()
@@ -139,7 +200,7 @@ func run() error {
 	}
 
 	rep := report{
-		Schema:    "dlsim-bench-trajectory/v1",
+		Schema:    "dlsim-bench-trajectory/v2", // v2: adds allocs_per_run
 		GoVersion: runtime.Version(),
 		CPUs:      runtime.NumCPU(),
 		SpecHash:  hash,

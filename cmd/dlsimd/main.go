@@ -28,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/cache"
@@ -53,6 +54,7 @@ func run(ctx context.Context) error {
 		jobsN    = flag.Int("jobs", 1, "campaigns executing concurrently")
 		workers  = flag.Int("workers", 0, "concurrent runs per campaign (0 = all CPU cores)")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown window for in-flight HTTP requests")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -79,9 +81,27 @@ func run(ctx context.Context) error {
 	})
 	defer mgr.Close()
 
+	handler := service.New(mgr).Handler()
+	if *pprofOn {
+		// Off by default: the profiling surface is for operators, not the
+		// public v1 API, and it exposes stacks and heap contents. The
+		// handlers are registered on the daemon's own mux (never the
+		// package-global http.DefaultServeMux), so the flag is the only
+		// way they become reachable.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Print("pprof: profiling handlers enabled under /debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     service.New(mgr).Handler(),
+		Handler:     handler,
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 

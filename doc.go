@@ -76,6 +76,27 @@
 // context.Canceled. The plain entry points are equivalent to the
 // Context variants under context.Background().
 //
+// # Performance
+//
+// The simulation hot path is allocation-free in steady state. The
+// "sim" backend's event queue is a specialized non-boxing min-heap
+// (container/heap would box one event per scheduling operation), and
+// campaign execution runs through per-worker run arenas: the optional
+// engine.RunnerBackend extension builds one engine.Runner per campaign
+// point, which validates the spec once, resets the scheduler in place
+// (sched.Resetter — all 15 techniques implement it) and reuses the
+// result buffers and rand48 state via sim.RunInto. The results
+// pipeline batches completed events per worker and reorders them
+// through a fixed-size ring, so per-run pipeline overhead is one
+// channel send and one broadcast per eight runs. None of this changes
+// a single output bit: golden tests prove the optimized path
+// byte-identical (JSONL streams and aggregates) to a naive
+// one-Backend.Run-per-replication execution across backends, seed
+// policies and worker counts, and CI pins sim.Run at 0 steady-state
+// allocs/op. cmd/benchtraj records absolute throughput and allocs/run
+// (BENCH_PR5.json) and takes -cpuprofile/-memprofile for pprof
+// analysis; dlsimd -pprof exposes live /debug/pprof/ handlers.
+//
 // The benchmark harness regenerating every figure of the paper lives in
 // bench_test.go and cmd/repro; see DESIGN.md and EXPERIMENTS.md.
 package repro

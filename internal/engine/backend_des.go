@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/rng"
+	"repro/internal/sched"
 )
 
 // desBackend runs the master–worker loop directly on the process-oriented
@@ -24,6 +26,30 @@ func (desBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	r, err := desBackend{}.NewRunner(spec) // validates the spec
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(ctx, spec)
+}
+
+// desRunner amortizes per-run setup across replications of one point:
+// the spec is validated once, worker names are formatted once, the
+// scheduler is Reset instead of rebuilt, and the result slices and
+// rand48 state are reused. The kernel itself is rebuilt per run — its
+// goroutine processes cannot be recycled — so the des path is cheaper
+// than before but not allocation-free (it never was; it exists for
+// cross-validation, not throughput).
+type desRunner struct {
+	s     sched.Scheduler
+	reset sched.Resetter
+	names []string
+	rng   rng.Rand48
+	out   RunResult
+}
+
+// NewRunner implements RunnerBackend.
+func (desBackend) NewRunner(spec RunSpec) (Runner, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -31,11 +57,45 @@ func (desBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := spec.RNG()
-	res := &RunResult{
-		Compute:        make([]float64, spec.P),
-		OpsPerWorker:   make([]int64, spec.P),
-		TasksPerWorker: make([]int64, spec.P),
+	r := &desRunner{
+		s:     s,
+		names: make([]string, spec.P),
+		out: RunResult{
+			Compute:        make([]float64, spec.P),
+			OpsPerWorker:   make([]int64, spec.P),
+			TasksPerWorker: make([]int64, spec.P),
+		},
+	}
+	r.reset, _ = s.(sched.Resetter)
+	for w := range r.names {
+		r.names[w] = fmt.Sprintf("worker-%d", w)
+	}
+	return r, nil
+}
+
+func (r *desRunner) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := r.s
+	if r.reset != nil {
+		r.reset.Reset()
+	} else {
+		var err error
+		if s, err = spec.Scheduler(); err != nil {
+			return nil, err
+		}
+	}
+	r.rng.SetState(spec.RNGState)
+	res := &r.out
+	res.Makespan = 0
+	res.SchedOps = 0
+	res.CommTime = 0
+	res.MasterBusy = 0
+	for w := 0; w < spec.P; w++ {
+		res.Compute[w] = 0
+		res.OpsPerWorker[w] = 0
+		res.TasksPerWorker[w] = 0
 	}
 
 	// The kernel runs exactly one process at a time, so the shared
@@ -54,7 +114,7 @@ func (desBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 		if spec.Speeds != nil {
 			speed = spec.Speeds[w]
 		}
-		k.SpawnAt(start, fmt.Sprintf("worker-%d", w), func(p *des.Process) {
+		k.SpawnAt(start, r.names[w], func(p *des.Process) {
 			for {
 				t := p.Now()
 				serviceEnd := t
@@ -72,7 +132,7 @@ func (desBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 					return
 				}
 				chunkStart := nextTask
-				exec := spec.Work.ChunkTime(nextTask, chunk, r)
+				exec := spec.Work.ChunkTime(nextTask, chunk, &r.rng)
 				nextTask += chunk
 				if speed <= 0 {
 					if runErr == nil {

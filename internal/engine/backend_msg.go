@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/sched"
 )
 
 // msgBackend adapts the full SimGrid-MSG-style model (internal/msg): a
@@ -38,6 +40,31 @@ func (msgBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	r, err := msgBackend{}.NewRunner(spec) // validates the spec
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(ctx, spec)
+}
+
+// msgRunner amortizes the per-point setup of the verification-grade
+// backend: the spec is validated once, the star platform and host names
+// are built once (platform data is immutable during simulation), and the
+// scheduler and rand48 state are reused across runs. A fresh msg.Engine
+// still spins up per run — the MSG protocol processes are goroutines and
+// cannot be recycled — so this trims constant per-run cost rather than
+// making the path allocation-free.
+type msgRunner struct {
+	app msg.AppConfig
+	pl  *platform.Platform
+	s   sched.Scheduler
+	res sched.Resetter
+	rng rng.Rand48
+	out RunResult
+}
+
+// NewRunner implements RunnerBackend.
+func (msgBackend) NewRunner(spec RunSpec) (Runner, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,15 +100,35 @@ func (msgBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	if spec.HInDynamics {
 		masterOverhead = spec.H
 	}
-	res, err := msg.RunApp(msg.NewEngine(pl), msg.AppConfig{
+	r := &msgRunner{pl: pl, s: s}
+	r.res, _ = s.(sched.Resetter)
+	r.app = msg.AppConfig{
 		MasterHost:     "pe-0",
 		WorkerHosts:    workers,
 		Sched:          s,
 		Work:           spec.Work,
-		RNG:            spec.RNG(),
+		RNG:            &r.rng,
 		ReferenceSpeed: 1,
 		MasterOverhead: masterOverhead,
-	})
+	}
+	return r, nil
+}
+
+func (r *msgRunner) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if r.res != nil {
+		r.res.Reset()
+	} else {
+		s, err := spec.Scheduler()
+		if err != nil {
+			return nil, err
+		}
+		r.app.Sched = s
+	}
+	r.rng.SetState(spec.RNGState)
+	res, err := msg.RunApp(msg.NewEngine(r.pl), r.app)
 	if err != nil {
 		return nil, err
 	}
@@ -89,12 +136,13 @@ func (msgBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	for _, c := range res.CommWait {
 		commWait += c
 	}
-	return &RunResult{
+	r.out = RunResult{
 		Makespan:       res.Makespan,
 		Compute:        res.Compute,
 		SchedOps:       res.SchedOps,
 		OpsPerWorker:   res.OpsPerWorker,
 		TasksPerWorker: res.TasksPerWorker,
 		CommTime:       commWait,
-	}, nil
+	}
+	return &r.out, nil
 }

@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 
+	"repro/internal/rng"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -19,6 +21,33 @@ func (simBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	r, err := simBackend{}.NewRunner(spec) // validates the spec
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Run(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	// The runner and its arena are throwaway here, so the aliased result
+	// needs no copy — no other run will ever overwrite it.
+	return res, nil
+}
+
+// simRunner is the amortized execution state for one campaign point:
+// spec validated once, scheduler Reset per run, rand48 re-seeded in
+// place, and all result buffers pooled in a sim.Arena. Steady-state runs
+// perform zero heap allocations.
+type simRunner struct {
+	cfg   sim.Config
+	reset sched.Resetter // nil: scheduler must be rebuilt per run
+	rng   rng.Rand48
+	arena sim.Arena
+	out   RunResult
+}
+
+// NewRunner implements RunnerBackend.
+func (simBackend) NewRunner(spec RunSpec) (Runner, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -26,22 +55,42 @@ func (simBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(sim.Config{
+	r := &simRunner{}
+	r.reset, _ = s.(sched.Resetter)
+	r.cfg = sim.Config{
 		P:              spec.P,
 		Sched:          s,
 		Work:           spec.Work,
-		RNG:            spec.RNG(),
+		RNG:            &r.rng,
 		Speeds:         spec.Speeds,
 		StartTimes:     spec.StartTimes,
 		H:              spec.H,
 		HInDynamics:    spec.HInDynamics,
 		PerMessageCost: spec.PerMessageCost,
 		Observe:        spec.Observe,
-	})
+	}
+	return r, nil
+}
+
+func (r *simRunner) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if r.reset != nil {
+		r.reset.Reset()
+	} else {
+		s, err := spec.Scheduler()
+		if err != nil {
+			return nil, err
+		}
+		r.cfg.Sched = s
+	}
+	r.rng.SetState(spec.RNGState)
+	res, err := sim.RunInto(r.cfg, &r.arena)
 	if err != nil {
 		return nil, err
 	}
-	return &RunResult{
+	r.out = RunResult{
 		Makespan:       res.Makespan,
 		Compute:        res.Compute,
 		SchedOps:       res.SchedOps,
@@ -49,5 +98,6 @@ func (simBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 		TasksPerWorker: res.TasksPerWorker,
 		CommTime:       res.CommTime,
 		MasterBusy:     res.MasterBusy,
-	}, nil
+	}
+	return &r.out, nil
 }

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Allocation-tracking benchmarks for the campaign pipeline. The
+// trajectory tool (cmd/benchtraj) records absolute runs/sec; these guard
+// the per-run allocation profile in relative terms:
+//
+//	go test -bench 'Alloc' -benchmem ./internal/engine/
+//
+// benchSpec is the same shape the trajectory document measures — two
+// points, exponential workload — scaled for go test iteration counts.
+func benchSpec(reps int) CampaignSpec {
+	return CampaignSpec{
+		Techniques:   []string{"FAC2", "GSS"},
+		Ns:           []int64{4096},
+		Ps:           []int{8},
+		Workload:     workload.Spec{Kind: "exponential", P1: 1},
+		H:            0.5,
+		Replications: reps,
+		Seed:         20170601,
+	}
+}
+
+func benchCampaign(b *testing.B, workers int, naive bool) {
+	b.Helper()
+	c, err := benchSpec(50).Compile(workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.disableRunners = naive
+	runs := len(c.Points) * c.Replications
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runs), "runs/op")
+}
+
+// BenchmarkCampaignStreamAlloc measures the full streaming pipeline —
+// runner arenas, batched delivery, ring reorder, aggregation — at one
+// worker and at GOMAXPROCS. allocs/op divided by runs/op is the per-run
+// allocation cost the tentpole attacks.
+func BenchmarkCampaignStreamAlloc(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchCampaign(b, 1, false) })
+	b.Run("workers=N", func(b *testing.B) { benchCampaign(b, 0, false) })
+	b.Run("naive/workers=1", func(b *testing.B) { benchCampaign(b, 1, true) })
+}
+
+// BenchmarkAggregateSinkAlloc isolates the reduction stage: consuming
+// one ordered event stream into per-point aggregates.
+func BenchmarkAggregateSinkAlloc(b *testing.B) {
+	spec := benchSpec(100)
+	points, err := spec.Points()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := Event{Spec: points[0], Metrics: RunMetrics{Wasted: 1.5, Makespan: 600, Speedup: 6, SchedOps: 40}}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newAggregateSink(points, spec.Replications, false, false)
+		for pi := range points {
+			ev.Point = pi
+			for rep := 0; rep < spec.Replications; rep++ {
+				ev.Rep = rep
+				if err := s.Consume(ctx, ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		s.Aggregates()
+	}
+}
+
+// TestCampaignAllocationBudget is the campaign-level allocation gate:
+// a 500-run campaign on the runner path must allocate at least 5× less
+// than the naive one-Backend.Run-per-replication path, and stay under a
+// pinned per-run ceiling. Run sequentially so the counts are stable.
+func TestCampaignAllocationBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow under -short")
+	}
+	measure := func(naive bool) float64 {
+		c, err := benchSpec(250).Compile(1) // 2 points × 250 reps = 500 runs
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.disableRunners = naive
+		return testing.AllocsPerRun(2, func() {
+			if _, err := c.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	fast := measure(false)
+	naive := measure(true)
+	t.Logf("allocs per 500-run campaign: runner path %.0f, naive path %.0f (%.1fx)", fast, naive, naive/fast)
+	if fast*5 > naive {
+		t.Errorf("runner path allocates %.0f per campaign, naive %.0f: want at least 5x reduction", fast, naive)
+	}
+	// Pinned ceiling: ~0 steady-state allocs per run plus fixed campaign
+	// setup. 500 runs at <= 2 allocs/run of slack keeps regressions
+	// (per-run boxing, escaping closures) loudly visible.
+	if perRun := fast / 500; perRun > 2 {
+		t.Errorf("runner path allocates %.2f per run, ceiling is 2", perRun)
+	}
+}

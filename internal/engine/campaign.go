@@ -40,6 +40,12 @@ type Campaign struct {
 	// KeepRuns retains per-run metrics and full results in the
 	// aggregates (needed for the paper's Figure 9 per-run analysis).
 	KeepRuns bool
+
+	// disableRunners forces the generic Backend.Run path even when the
+	// backend implements RunnerBackend. Test hook: the golden
+	// determinism tests prove the amortized runner path bit-identical to
+	// this one.
+	disableRunners bool
 }
 
 // RunMetrics are the per-run scalars the campaigns of the paper report.

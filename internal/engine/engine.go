@@ -132,6 +132,40 @@ type Backend interface {
 	Run(ctx context.Context, spec RunSpec) (*RunResult, error)
 }
 
+// Runner executes many runs of one campaign point with per-run setup
+// amortized away: the spec is validated once, the scheduler is Reset
+// instead of rebuilt (sched.Resetter), and result buffers are pooled, so
+// the steady-state hot path allocates nothing. A Runner is built for one
+// point and must only be handed specs that differ from the construction
+// spec in RNGState. It is NOT safe for concurrent use — the campaign
+// pipeline keeps one per worker goroutine.
+type Runner interface {
+	// Run executes the spec. The returned result and its slices alias
+	// the runner's internal buffers and are valid only until the next
+	// Run call; callers retaining results across runs must Clone them.
+	Run(ctx context.Context, spec RunSpec) (*RunResult, error)
+}
+
+// RunnerBackend is the optional Backend extension behind the engine's
+// allocation-free campaign path. NewRunner validates the point spec once
+// and returns a Runner amortizing all per-run setup; backends without it
+// fall back to one Backend.Run (validate + rebuild) per replication. All
+// three built-in backends implement it.
+type RunnerBackend interface {
+	Backend
+	NewRunner(spec RunSpec) (Runner, error)
+}
+
+// Clone returns a deep copy of the result, detaching it from any runner
+// arena it may alias.
+func (r *RunResult) Clone() *RunResult {
+	out := *r
+	out.Compute = append([]float64(nil), r.Compute...)
+	out.OpsPerWorker = append([]int64(nil), r.OpsPerWorker...)
+	out.TasksPerWorker = append([]int64(nil), r.TasksPerWorker...)
+	return &out
+}
+
 var (
 	registryMu sync.RWMutex
 	registry   = make(map[string]Backend)

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// These tests are the H13-style determinism gate for the allocation-free
+// hot path: the amortized runner path (scheduler Reset + run arenas +
+// batched event delivery) must be byte-identical to the naive path (one
+// Backend.Run per replication, fresh everything) — same JSONL event
+// stream, same aggregates — for every backend, every seed policy and any
+// worker count. A single differing byte means an optimization changed
+// simulation output.
+
+// goldenRun executes the spec's campaign and returns the JSONL stream
+// bytes plus the campaign result.
+func goldenRun(t *testing.T, spec CampaignSpec, workers int, naive bool) ([]byte, *CampaignResult) {
+	t.Helper()
+	c, err := spec.Compile(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.disableRunners = naive
+	c.KeepRuns = true // exercises the arena-result Clone path too
+	var buf bytes.Buffer
+	res, err := c.RunWith(context.Background(), NewJSONLSink(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+func goldenSpec(backend string) CampaignSpec {
+	return CampaignSpec{
+		Backend:      backend,
+		Techniques:   []string{"GSS", "FAC2", "BOLD"},
+		Ns:           []int64{256},
+		Ps:           []int{4},
+		Workload:     workload.Spec{Kind: "exponential", P1: 1},
+		H:            0.25,
+		Replications: 6,
+		Seed:         20170601,
+	}
+}
+
+// TestGoldenDeterminismRunnerVsNaive: for all three backends and all
+// four seed policies, the runner path at several worker counts produces
+// the exact JSONL bytes and aggregates of the naive sequential path.
+func TestGoldenDeterminismRunnerVsNaive(t *testing.T) {
+	for _, backend := range []string{"sim", "des", "msg"} {
+		for _, policy := range []string{SeedPerCell, SeedFlat, SeedFacade, SeedShared} {
+			t.Run(backend+"/"+policy, func(t *testing.T) {
+				spec := goldenSpec(backend)
+				spec.SeedPolicy = policy
+				refStream, refRes := goldenRun(t, spec, 1, true)
+				if len(refStream) == 0 {
+					t.Fatal("reference stream is empty")
+				}
+				for _, workers := range []int{1, 4} {
+					gotStream, gotRes := goldenRun(t, spec, workers, false)
+					if !bytes.Equal(gotStream, refStream) {
+						t.Errorf("workers=%d: runner-path JSONL stream differs from naive path", workers)
+					}
+					if !reflect.DeepEqual(gotRes.Aggregates, refRes.Aggregates) {
+						t.Errorf("workers=%d: runner-path aggregates differ from naive path", workers)
+					}
+					if gotRes.Overall != refRes.Overall {
+						t.Errorf("workers=%d: overall roll-up differs from naive path", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenDeterminismRetainedResults: with KeepRuns, the cloned
+// arena-backed results must equal the naive path's fresh results field
+// by field — a shallow alias of a recycled buffer would diverge here.
+func TestGoldenDeterminismRetainedResults(t *testing.T) {
+	spec := goldenSpec("sim")
+	_, naive := goldenRun(t, spec, 1, true)
+	_, fast := goldenRun(t, spec, 4, false)
+	for pi := range naive.Aggregates {
+		nr, fr := naive.Aggregates[pi].Results, fast.Aggregates[pi].Results
+		if len(nr) != spec.Replications || len(fr) != spec.Replications {
+			t.Fatalf("point %d: retained %d/%d results, want %d", pi, len(nr), len(fr), spec.Replications)
+		}
+		for rep := range nr {
+			if !reflect.DeepEqual(nr[rep], fr[rep]) {
+				t.Fatalf("point %d rep %d: retained result differs between paths", pi, rep)
+			}
+		}
+	}
+	// Cloned results must be distinct allocations, not arena aliases.
+	for pi := range fast.Aggregates {
+		rs := fast.Aggregates[pi].Results
+		for i := 1; i < len(rs); i++ {
+			if &rs[i].Compute[0] == &rs[i-1].Compute[0] {
+				t.Fatalf("point %d: results %d and %d share a Compute buffer", pi, i-1, i)
+			}
+		}
+	}
+}
+
+// TestGoldenDeterminismAcrossBackendsStable pins the cross-backend
+// equivalence on the runner path: sim and des execute identical dynamics
+// and must deliver identical streams for the same spec (msg differs by
+// construction: message timing enters the makespan).
+func TestGoldenDeterminismAcrossBackendsStable(t *testing.T) {
+	simStream, _ := goldenRun(t, goldenSpec("sim"), 3, false)
+	desStream, _ := goldenRun(t, goldenSpec("des"), 3, false)
+	// The streams embed no backend name, so equal dynamics mean equal
+	// bytes.
+	if !bytes.Equal(simStream, desStream) {
+		t.Error("sim and des runner-path streams diverge on free-network dynamics")
+	}
+}

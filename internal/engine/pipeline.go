@@ -104,6 +104,15 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 	if workers > total {
 		workers = total
 	}
+	// Backends exposing the amortized Runner path serve each point with
+	// per-worker runners: spec validated once, scheduler reset instead of
+	// rebuilt, pooled result buffers. The generic Backend.Run fallback
+	// (and the disableRunners test hook) revalidates and reallocates per
+	// run; both paths produce bit-identical events.
+	rb, _ := be.(RunnerBackend)
+	if c.disableRunners {
+		rb = nil
+	}
 
 	var (
 		next     atomic.Int64
@@ -112,16 +121,21 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 		firstErr error
 		wg       sync.WaitGroup
 
-		// nextOut is the next event index the reorder stage dispatches.
-		// Workers wait before executing runs more than window indices
-		// ahead of it, which bounds the reorder buffer under arbitrary
-		// run-duration skew (one pathologically slow run cannot make the
-		// buffer absorb the whole remaining grid).
+		// nextOut is the next event index the reorder stage dispatches
+		// (its published value; the reorder goroutine's private counter
+		// runs ahead within a batch). Workers wait before executing runs
+		// more than window indices ahead of it, which bounds the reorder
+		// ring under arbitrary run-duration skew (one pathologically slow
+		// run cannot make the buffer absorb the whole remaining grid).
 		outMu   sync.Mutex
 		outCond = sync.NewCond(&outMu)
 		nextOut int64
 	)
-	window := int64(4 * workers)
+	// Completed events travel in per-worker batches — one channel send
+	// and at most one broadcast per eventBatch runs instead of per run —
+	// and the window is sized so batching slack cannot stall the ring.
+	const eventBatch = 8
+	window := int64(4 * eventBatch * workers)
 	fail := func(err error) {
 		errMu.Lock()
 		if firstErr == nil {
@@ -149,19 +163,38 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 		}
 	}()
 
-	events := make(chan Event, workers)
+	events := make(chan []Event, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var (
+				runner   Runner
+				runnerPt = -1
+			)
+			batch := make([]Event, 0, eventBatch)
+			flush := func() {
+				if len(batch) > 0 {
+					events <- batch
+					batch = make([]Event, 0, eventBatch)
+				}
+			}
+			defer flush() // runs before wg.Done, so before close(events)
 			for {
 				j := next.Add(1) - 1
 				if j >= int64(total) || failed.Load() {
 					return
 				}
 				outMu.Lock()
-				for j >= nextOut+window && !failed.Load() {
-					outCond.Wait()
+				if j >= nextOut+window {
+					// The reorder stage may be waiting for an event in
+					// this worker's pocket; hand it over before parking.
+					outMu.Unlock()
+					flush()
+					outMu.Lock()
+					for j >= nextOut+window && !failed.Load() {
+						outCond.Wait()
+					}
 				}
 				outMu.Unlock()
 				if failed.Load() {
@@ -170,16 +203,37 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 				pi, rep := int(j)/reps, int(j)%reps
 				spec := c.Points[pi]
 				spec.RNGState = seedFor(pi, rep)
-				res, err := be.Run(ctx, spec)
+				var res *RunResult
+				var err error
+				if rb != nil {
+					if runnerPt != pi {
+						if runner, err = rb.NewRunner(c.Points[pi]); err != nil {
+							fail(fmt.Errorf("engine: point %d replication %d: %w", pi, rep, err))
+							return
+						}
+						runnerPt = pi
+					}
+					res, err = runner.Run(ctx, spec)
+				} else {
+					res, err = be.Run(ctx, spec)
+				}
 				if err != nil {
 					fail(fmt.Errorf("engine: point %d replication %d: %w", pi, rep, err))
 					return
 				}
 				ev := Event{Point: pi, Rep: rep, Spec: spec, Metrics: pointMetrics(spec, res)}
 				if c.KeepRuns {
+					if rb != nil {
+						// Runner results alias the runner's arena; detach
+						// them before the next run overwrites the buffers.
+						res = res.Clone()
+					}
 					ev.Result = res
 				}
-				events <- ev
+				batch = append(batch, ev)
+				if len(batch) >= eventBatch {
+					flush()
+				}
 			}
 		}()
 	}
@@ -189,22 +243,34 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 	}()
 
 	// Reorder completed runs into global (point, replication) order and
-	// dispatch. The pending buffer holds events completed ahead of the
-	// oldest still-running run; the worker-side window bounds it to
-	// window + len(events) entries.
-	pending := make(map[int64]Event, workers)
-	for ev := range events {
-		pending[int64(ev.Point)*int64(reps)+int64(ev.Rep)] = ev
+	// dispatch. The ring holds events completed ahead of the oldest
+	// still-running run; the worker-side window bounds in-flight indices
+	// to [nextOut, nextOut+window), so slot j%window is collision-free
+	// and no per-event map churn occurs. nextOutLocal is the reorder
+	// stage's private cursor, published to nextOut (with one broadcast)
+	// once per drained batch.
+	var (
+		ring         = make([]Event, window)
+		present      = make([]bool, window)
+		nextOutLocal int64
+	)
+	for batch := range events {
+		for _, ev := range batch {
+			idx := (int64(ev.Point)*int64(reps) + int64(ev.Rep)) % window
+			ring[idx] = ev
+			present[idx] = true
+		}
+		dispatched := false
 		for {
-			out, ok := pending[nextOut]
-			if !ok {
+			idx := nextOutLocal % window
+			if !present[idx] {
 				break
 			}
-			delete(pending, nextOut)
-			outMu.Lock()
-			nextOut++
-			outCond.Broadcast()
-			outMu.Unlock()
+			out := ring[idx]
+			ring[idx] = Event{} // drop the Result reference
+			present[idx] = false
+			nextOutLocal++
+			dispatched = true
 			if failed.Load() {
 				continue // drain without dispatching after an abort
 			}
@@ -214,6 +280,12 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 					break
 				}
 			}
+		}
+		if dispatched {
+			outMu.Lock()
+			nextOut = nextOutLocal
+			outCond.Broadcast()
+			outMu.Unlock()
 		}
 	}
 	// All workers and the consumer loop are done; retire the watcher so

@@ -49,6 +49,18 @@ func NewAF(p Params) (*AF, error) {
 	}, nil
 }
 
+// Reset restores the scheduler to its post-construction state, dropping
+// every per-PE estimate.
+func (s *AF) Reset() {
+	s.base.Reset()
+	for w := 0; w < s.p; w++ {
+		s.timeSum[w] = 0
+		s.taskSum[w] = 0
+		s.nChunks[w] = 0
+		s.varSum[w] = 0
+	}
+}
+
 // ready reports whether PE w has enough completed chunks (two) for stable
 // estimates.
 func (s *AF) ready(w int) bool { return s.nChunks[w] >= 2 }

@@ -29,6 +29,14 @@ func newPerfTracker(p int) perfTracker {
 	return perfTracker{time: make([]float64, p), tasks: make([]int64, p)}
 }
 
+// reset clears all accumulated measurements in place.
+func (t *perfTracker) reset() {
+	for i := range t.time {
+		t.time[i] = 0
+		t.tasks[i] = 0
+	}
+}
+
 func (t *perfTracker) record(w int, chunk int64, elapsed float64) {
 	if w < 0 || w >= len(t.time) {
 		return
@@ -76,12 +84,13 @@ func (t *perfTracker) weights() []float64 {
 // awfCore is the machinery shared by the three AWF variants.
 type awfCore struct {
 	base
-	tracker    perfTracker
-	weights    []float64
-	batchBase  float64
-	batchLeft  int
-	adaptBatch bool // recompute weights at batch boundaries (AWF-B)
-	adaptChunk bool // recompute weights at every request (AWF-C)
+	tracker     perfTracker
+	weights     []float64
+	initWeights []float64 // construction weights, restored by Reset
+	batchBase   float64
+	batchLeft   int
+	adaptBatch  bool // recompute weights at batch boundaries (AWF-B)
+	adaptChunk  bool // recompute weights at every request (AWF-C)
 }
 
 func newAWFCore(name string, p Params, adaptBatch, adaptChunk bool) (*awfCore, error) {
@@ -93,13 +102,28 @@ func newAWFCore(name string, p Params, adaptBatch, adaptChunk bool) (*awfCore, e
 	if err != nil {
 		return nil, err
 	}
+	init := make([]float64, len(w))
+	copy(init, w)
 	return &awfCore{
-		base:       b,
-		tracker:    newPerfTracker(p.P),
-		weights:    w,
-		adaptBatch: adaptBatch,
-		adaptChunk: adaptChunk,
+		base:        b,
+		tracker:     newPerfTracker(p.P),
+		weights:     w,
+		initWeights: init,
+		adaptBatch:  adaptBatch,
+		adaptChunk:  adaptChunk,
 	}, nil
+}
+
+// Reset restores the scheduler to its post-construction state: the
+// construction weights come back and all measured rates are dropped.
+func (s *awfCore) Reset() {
+	s.base.Reset()
+	s.tracker.reset()
+	// No code path writes weight elements in place (refreshWeights swaps
+	// in whole slices), so restoring by aliasing is safe.
+	s.weights = s.initWeights
+	s.batchBase = 0
+	s.batchLeft = 0
 }
 
 // Next hands worker w its weighted share of the current FAC2-style batch.

@@ -68,6 +68,12 @@ func NewBOLD(p Params) (*BOLD, error) {
 	return s, nil
 }
 
+// Reset restores the scheduler to its post-construction state.
+func (s *BOLD) Reset() {
+	s.base.Reset()
+	s.outstanding = 0
+}
+
 // Next computes the bold chunk for the current remainder.
 func (s *BOLD) Next(_ int, _ float64) int64 {
 	r := s.remaining

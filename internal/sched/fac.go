@@ -44,6 +44,14 @@ func NewFAC(p Params) (*FAC, error) {
 	return &FAC{base: b, mu: p.Mu, sigma: p.Sigma}, nil
 }
 
+// Reset restores the scheduler to its post-construction state.
+func (s *FAC) Reset() {
+	s.base.Reset()
+	s.batchChunk = 0
+	s.batchLeft = 0
+	s.batchIndex = 0
+}
+
 // Next hands out the current batch chunk, computing a new batch factor
 // whenever the previous batch's p chunks are exhausted.
 func (s *FAC) Next(_ int, _ float64) int64 {

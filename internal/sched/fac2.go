@@ -24,6 +24,13 @@ func NewFAC2(p Params) (*FAC2, error) {
 	return &FAC2{base: b}, nil
 }
 
+// Reset restores the scheduler to its post-construction state.
+func (s *FAC2) Reset() {
+	s.base.Reset()
+	s.batchChunk = 0
+	s.batchLeft = 0
+}
+
 // Next hands out ⌈r/(2p)⌉-sized chunks in batches of p.
 func (s *FAC2) Next(_ int, _ float64) int64 {
 	if s.remaining <= 0 {

@@ -68,6 +68,19 @@ type Scheduler interface {
 	Chunks() int64
 }
 
+// Resetter is the optional reuse extension of Scheduler: Reset restores
+// the scheduler to the state it had immediately after construction, so
+// one value can serve many runs of the same parameters without
+// reallocating. Every technique in this package implements it — the
+// engine's campaign runners rely on Reset to keep the per-run hot path
+// allocation-free (falling back to reconstruction for schedulers that do
+// not). A Reset scheduler must produce exactly the chunk sequence a
+// freshly constructed one would, given the same Next/Report calls
+// (verified per technique by reset_test.go).
+type Resetter interface {
+	Reset()
+}
+
 // base carries the bookkeeping shared by all techniques.
 type base struct {
 	name      string
@@ -81,6 +94,14 @@ func (b *base) Name() string                        { return b.name }
 func (b *base) Remaining() int64                    { return b.remaining }
 func (b *base) Chunks() int64                       { return b.chunks }
 func (b *base) Report(int, int64, float64, float64) {}
+
+// Reset restores the shared bookkeeping to its post-construction state.
+// Techniques with extra mutable state shadow this with their own Reset
+// that calls it first.
+func (b *base) Reset() {
+	b.remaining = b.n
+	b.chunks = 0
+}
 
 // take clamps want to [1, remaining], updates the counters and returns
 // the granted chunk. It returns 0 when nothing remains.

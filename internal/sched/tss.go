@@ -46,6 +46,12 @@ func NewTSS(p Params) (*TSS, error) {
 	return &TSS{base: b, first: f, last: l, delta: delta}, nil
 }
 
+// Reset restores the scheduler to its post-construction state.
+func (s *TSS) Reset() {
+	s.base.Reset()
+	s.step = 0
+}
+
 // Next assigns the next trapezoid chunk f − ⌊i·δ⌋, clamped at l.
 func (s *TSS) Next(_ int, _ float64) int64 {
 	want := s.first - int64(float64(s.step)*s.delta)

@@ -46,6 +46,16 @@ func NewWF(p Params) (*WF, error) {
 	return &WF{base: b, mu: p.Mu, sigma: p.Sigma, weights: w}, nil
 }
 
+// Reset restores the scheduler to its post-construction state. The
+// normalized weights are construction-time constants, so only the batch
+// bookkeeping resets.
+func (s *WF) Reset() {
+	s.base.Reset()
+	s.batchBase = 0
+	s.batchLeft = 0
+	s.batchIndex = 0
+}
+
 // Next hands worker w its weighted share of the current batch.
 func (s *WF) Next(w int, _ float64) int64 {
 	if s.remaining <= 0 {

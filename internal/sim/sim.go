@@ -27,7 +27,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/rng"
@@ -92,28 +91,123 @@ type workerEvent struct {
 // eventQueue is a binary min-heap of worker events ordered by
 // (time, worker id) — the worker id tie-break keeps runs deterministic
 // when several workers request simultaneously (e.g. at start).
+//
+// The heap is hand-rolled rather than built on container/heap: the
+// standard library interface passes elements as `any`, which boxes one
+// workerEvent per Push — one heap allocation per scheduling operation,
+// millions per campaign for fine-grained techniques like SS. The inline
+// sift operations below allocate nothing. Every event in the queue
+// belongs to a distinct worker, so the (time, worker) key is strictly
+// totally ordered and any correct heap pops the exact same sequence —
+// the replacement cannot change simulation output.
 type eventQueue []workerEvent
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].t != q[j].t {
 		return q[i].t < q[j].t
 	}
 	return q[i].w < q[j].w
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(workerEvent)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
-	return ev
+
+// push adds ev and restores the heap property by sifting up.
+func (q *eventQueue) push(ev workerEvent) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event, sifting down to restore the
+// heap property. It must not be called on an empty queue.
+func (q *eventQueue) pop() workerEvent {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && h.less(r, l) {
+			least = r
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
+}
+
+// Arena holds the reusable buffers of a simulation run: the result
+// slices and the event queue's backing array. One arena serves many
+// sequential runs from a single goroutine — RunInto recycles its memory,
+// so steady-state runs allocate nothing. The zero value is ready to use.
+type Arena struct {
+	res   Result
+	queue eventQueue
+}
+
+// prepare sizes the arena for p workers and returns the zeroed result.
+func (a *Arena) prepare(p int) *Result {
+	if cap(a.res.Compute) < p {
+		a.res.Compute = make([]float64, p)
+		a.res.Finish = make([]float64, p)
+		a.res.OpsPerWorker = make([]int64, p)
+		a.res.TasksPerWorker = make([]int64, p)
+		a.queue = make(eventQueue, 0, p+1)
+	}
+	a.res.Compute = a.res.Compute[:p]
+	a.res.Finish = a.res.Finish[:p]
+	a.res.OpsPerWorker = a.res.OpsPerWorker[:p]
+	a.res.TasksPerWorker = a.res.TasksPerWorker[:p]
+	for i := 0; i < p; i++ {
+		a.res.Compute[i] = 0
+		a.res.Finish[i] = 0
+		a.res.OpsPerWorker[i] = 0
+		a.res.TasksPerWorker[i] = 0
+	}
+	a.res.Makespan = 0
+	a.res.SchedOps = 0
+	a.res.CommTime = 0
+	a.res.MasterBusy = 0
+	a.queue = a.queue[:0]
+	return &a.res
 }
 
 // Run executes the master–worker loop to completion and returns the
-// timing results.
+// timing results. Each call allocates a fresh Result; callers executing
+// many runs should reuse an Arena via RunInto instead.
 func Run(cfg Config) (*Result, error) {
+	res, err := RunInto(cfg, new(Arena))
+	if err != nil {
+		return nil, err
+	}
+	// Detach the result from the throwaway arena so it has ordinary
+	// value semantics for the caller.
+	out := *res
+	return &out, nil
+}
+
+// RunInto executes the master–worker loop to completion using the
+// arena's buffers. The returned Result (and its slices) aliases the
+// arena and is valid only until the arena's next RunInto call; callers
+// that retain results across runs must copy them. Reusing one arena
+// across runs makes the steady-state hot path allocation-free.
+func RunInto(cfg Config, a *Arena) (*Result, error) {
 	if cfg.P <= 0 {
 		return nil, fmt.Errorf("sim: P must be positive, got %d", cfg.P)
 	}
@@ -133,35 +227,21 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: random workload %q requires Config.RNG", cfg.Work.Name())
 	}
 
-	res := &Result{
-		Compute:        make([]float64, cfg.P),
-		Finish:         make([]float64, cfg.P),
-		OpsPerWorker:   make([]int64, cfg.P),
-		TasksPerWorker: make([]int64, cfg.P),
-	}
-
-	q := make(eventQueue, 0, cfg.P)
+	res := a.prepare(cfg.P)
+	q := &a.queue
 	for w := 0; w < cfg.P; w++ {
 		start := 0.0
 		if cfg.StartTimes != nil {
 			start = cfg.StartTimes[w]
 		}
-		q = append(q, workerEvent{t: start, w: w})
-	}
-	heap.Init(&q)
-
-	speed := func(w int) float64 {
-		if cfg.Speeds == nil {
-			return 1
-		}
-		return cfg.Speeds[w]
+		q.push(workerEvent{t: start, w: w})
 	}
 
 	var nextTask int64 // global index of the next unassigned task
 	var masterFree float64
 
-	for q.Len() > 0 {
-		ev := heap.Pop(&q).(workerEvent)
+	for len(*q) > 0 {
+		ev := q.pop()
 		t := ev.t
 
 		serviceEnd := t
@@ -187,7 +267,10 @@ func Run(cfg Config) (*Result, error) {
 		chunkStart := nextTask
 		exec := cfg.Work.ChunkTime(nextTask, chunk, cfg.RNG)
 		nextTask += chunk
-		s := speed(ev.w)
+		s := 1.0
+		if cfg.Speeds != nil {
+			s = cfg.Speeds[ev.w]
+		}
 		if cfg.Perturb != nil {
 			s *= cfg.Perturb(ev.w, serviceEnd)
 		}
@@ -210,7 +293,7 @@ func Run(cfg Config) (*Result, error) {
 		if done > res.Makespan {
 			res.Makespan = done
 		}
-		heap.Push(&q, workerEvent{t: done, w: ev.w})
+		q.push(workerEvent{t: done, w: ev.w})
 	}
 
 	return res, nil
