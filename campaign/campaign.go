@@ -169,6 +169,25 @@ type Description struct {
 	Backends []string `json:"backends"`
 	// SeedPolicies lists the accepted Spec.SeedPolicy values.
 	SeedPolicies []string `json:"seed_policies"`
+	// Execution reports the surface's effective execution configuration
+	// (CPU count, worker pool, chunk size). Informational only — it never
+	// affects results — and omitted by surfaces that predate it.
+	Execution *Execution `json:"execution,omitempty"`
+}
+
+// Execution describes how a surface schedules campaign runs onto
+// hardware. Every field is scheduling-only: results are bit-identical
+// for any combination of values.
+type Execution struct {
+	// CPUs is runtime.NumCPU() where campaigns execute.
+	CPUs int `json:"cpus"`
+	// Workers is the effective per-campaign worker-goroutine count.
+	Workers int `json:"workers"`
+	// ChunkSize is the configured replications-per-work-item; 0 means
+	// auto-sized per campaign from the grid and the worker count.
+	ChunkSize int `json:"chunk_size"`
+	// Concurrency is the number of campaigns executing at once.
+	Concurrency int `json:"concurrency"`
 }
 
 // LocalDescription describes the in-process execution surface: every

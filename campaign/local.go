@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/engine"
@@ -21,6 +22,12 @@ type LocalConfig struct {
 	// Workers bounds concurrently executing runs per campaign; 0 selects
 	// GOMAXPROCS. Results are identical for any worker count.
 	Workers int
+
+	// ChunkSize is the number of consecutive replications executed per
+	// work item inside a campaign; 0 auto-sizes (see
+	// engine.ExecConfig.ChunkSize). Like Workers it changes scheduling,
+	// never results.
+	ChunkSize int
 
 	// QueueDepth bounds jobs waiting to run; submissions beyond it fail
 	// with ErrQueueFull. 0 selects 64.
@@ -71,6 +78,7 @@ func (r *LocalRunner) manager() (*jobs.Manager, error) {
 			QueueDepth:  r.cfg.QueueDepth,
 			Concurrency: r.cfg.Concurrency,
 			Workers:     r.cfg.Workers,
+			ChunkSize:   r.cfg.ChunkSize,
 		})
 	}
 	return r.mgr, nil
@@ -81,6 +89,7 @@ func (r *LocalRunner) manager() (*jobs.Manager, error) {
 func (r *LocalRunner) Execute(ctx context.Context, spec Spec, opts ExecOptions) (*Result, error) {
 	return spec.Execute(ctx, engine.ExecConfig{
 		Workers:    r.cfg.Workers,
+		ChunkSize:  r.cfg.ChunkSize,
 		KeepPerRun: opts.KeepPerRun,
 		Cache:      r.cfg.Store,
 		Sinks:      opts.Sinks,
@@ -141,9 +150,36 @@ func (r *LocalRunner) Cancel(_ context.Context, id string) error {
 	return mgr.Cancel(id)
 }
 
-// Describe implements Runner.
+// Describe implements Runner. The description's Execution block
+// reports this runner's effective configuration: the host CPU count,
+// the worker pool Workers resolves to, and the chunk-size knob.
 func (r *LocalRunner) Describe(context.Context) (Description, error) {
-	return LocalDescription(), nil
+	d := LocalDescription()
+	d.Execution = &Execution{
+		CPUs:        runtime.NumCPU(),
+		Workers:     effectiveWorkers(r.cfg.Workers),
+		ChunkSize:   r.cfg.ChunkSize,
+		Concurrency: effectiveConcurrency(r.cfg.Concurrency),
+	}
+	return d, nil
+}
+
+// effectiveWorkers resolves the Workers knob's zero default the same
+// way the engine does (engine.ExecConfig.Workers).
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// effectiveConcurrency resolves the Concurrency knob's zero default the
+// same way the job manager does (jobs.Config.Concurrency).
+func effectiveConcurrency(c int) int {
+	if c <= 0 {
+		return 1
+	}
+	return c
 }
 
 // Close shuts the runner down: submissions start failing with

@@ -44,7 +44,10 @@ func TestAPISurfaceSnapshot(t *testing.T) {
 		"Job": "ID string json=id; Hash string json=hash; Deduped bool json=deduped",
 		"Description": "Service string json=service; APIVersion string json=api_version; " +
 			"Techniques []string json=techniques; Backends []string json=backends; " +
-			"SeedPolicies []string json=seed_policies",
+			"SeedPolicies []string json=seed_policies; " +
+			"Execution *campaign.Execution json=execution,omitempty",
+		"Execution": "CPUs int json=cpus; Workers int json=workers; " +
+			"ChunkSize int json=chunk_size; Concurrency int json=concurrency",
 		"ErrorBody": "Code string json=code; Message string json=message; " +
 			"Details map[string]interface {} json=details,omitempty",
 		"ErrorEnvelope": "Error campaign.ErrorBody json=error",
@@ -59,6 +62,7 @@ func TestAPISurfaceSnapshot(t *testing.T) {
 		"Snapshot":      reflect.TypeOf(campaign.Snapshot{}),
 		"Job":           reflect.TypeOf(campaign.Job{}),
 		"Description":   reflect.TypeOf(campaign.Description{}),
+		"Execution":     reflect.TypeOf(campaign.Execution{}),
 		"ErrorBody":     reflect.TypeOf(campaign.ErrorBody{}),
 		"ErrorEnvelope": reflect.TypeOf(campaign.ErrorEnvelope{}),
 	}

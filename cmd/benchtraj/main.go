@@ -1,24 +1,32 @@
 // Command benchtraj emits the repo's machine-readable performance
 // trajectory: it measures campaign throughput (runs per second) and the
 // per-run allocation profile through the engine's streaming pipeline
-// under the configurations future PRs need to compare against —
-// sequential vs parallel execution and live vs cache-replayed results —
-// and writes them as one JSON document (BENCH_PR5.json at the repo root
-// for this PR, next to the earlier BENCH_PR3.json).
+// under the configurations future PRs need to compare against — a
+// multi-worker scaling sweep and live vs cache-replayed results — and
+// writes them as one JSON document (BENCH_PR6.json at the repo root for
+// this PR, next to the earlier BENCH_PR3.json and BENCH_PR5.json).
 //
 // It complements `go test -bench` (which guards against regressions in
 // relative terms on a developer's machine) by recording absolute
 // throughput numbers in a stable schema that CI artifacts and later
 // PRs can diff:
 //
-//	go run ./cmd/benchtraj -out BENCH_PR5.json
-//	go run ./cmd/benchtraj -reps 50 -out /dev/stdout   # quick look
+//	go run ./cmd/benchtraj -out BENCH_PR6.json
+//	go run ./cmd/benchtraj -reps 50 -out /dev/stdout      # quick look
+//	go run ./cmd/benchtraj -workers 1,2,4 -min-speedup 1.5 # CI scaling gate
 //
 // Every measurement executes the identical declarative campaign spec,
 // so the work per run is constant across configurations and PRs
 // (changing the spec bumps the schema's spec_hash, making stale
-// comparisons detectable). BENCH_PR5.json's spec hash matches
-// BENCH_PR3.json's, so the two documents are directly comparable.
+// comparisons detectable). BENCH_PR6.json's spec hash matches
+// BENCH_PR3.json's and BENCH_PR5.json's, so the documents are directly
+// comparable.
+//
+// Each measurement records the host CPU count it ran on. On a
+// single-CPU host the worker goroutines timeshare one core, so the
+// derived parallel_speedup would measure scheduler noise, not scaling —
+// the report then omits it and says so in derived.speedup_note, and the
+// -min-speedup gate is skipped with a message.
 //
 // For drilling into where time and memory go, -cpuprofile and
 // -memprofile write pprof profiles covering the live (non-cached)
@@ -37,6 +45,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cache"
@@ -47,11 +57,13 @@ import (
 
 // measurement is one throughput sample.
 type measurement struct {
-	Name        string  `json:"name"`    // e.g. "campaign/parallel"
-	Workers     int     `json:"workers"` // 0 = GOMAXPROCS
-	Cached      bool    `json:"cached"`  // served from the result store
-	Runs        int64   `json:"runs"`    // simulated runs per iteration
-	Seconds     float64 `json:"seconds"` // best iteration wall time
+	Name        string  `json:"name"`       // e.g. "campaign/workers=4"
+	Workers     int     `json:"workers"`    // worker goroutines (0 = GOMAXPROCS)
+	CPUs        int     `json:"cpus"`       // runtime.NumCPU() where this sample ran
+	ChunkSize   int     `json:"chunk_size"` // replications per work item; 0 = auto
+	Cached      bool    `json:"cached"`     // served from the result store
+	Runs        int64   `json:"runs"`       // simulated runs per iteration
+	Seconds     float64 `json:"seconds"`    // best iteration wall time
 	RunsPerSec  float64 `json:"runs_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_run"` // heap allocations per simulated run (min across iterations)
 }
@@ -71,9 +83,24 @@ type report struct {
 	Measurements []measurement `json:"measurements"`
 }
 
+// scalingPoint is one step of the derived worker-scaling curve.
+type scalingPoint struct {
+	Workers int     `json:"workers"`
+	Speedup float64 `json:"speedup"` // vs the workers=1 measurement
+}
+
 type derived struct {
-	ParallelSpeedup float64 `json:"parallel_speedup"` // parallel vs sequential
-	CacheSpeedup    float64 `json:"cache_speedup"`    // cached vs parallel live
+	// ParallelSpeedup is the best multi-worker throughput of the sweep
+	// over the workers=1 throughput. Omitted when the host has a single
+	// CPU: the workers then timeshare one core and the ratio measures
+	// scheduler noise, not parallel scaling (see SpeedupNote).
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	// SpeedupNote explains an omitted ParallelSpeedup.
+	SpeedupNote string `json:"speedup_note,omitempty"`
+	// Scaling is the full speedup-vs-workers curve of the sweep.
+	Scaling []scalingPoint `json:"scaling,omitempty"`
+	// CacheSpeedup is cached replay vs the fastest live measurement.
+	CacheSpeedup float64 `json:"cache_speedup"`
 }
 
 // countingExec runs one campaign execution and returns its wall time and
@@ -92,6 +119,29 @@ func countingExec(ctx context.Context, spec engine.CampaignSpec, cfg engine.Exec
 	return secs, after.Mallocs - before.Mallocs, nil
 }
 
+// parseWorkers decodes the -workers sweep list ("1,2,4,8").
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-workers: %q is not a positive integer", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers: empty sweep")
+	}
+	if out[0] != 1 {
+		return nil, fmt.Errorf("-workers: the sweep must start at 1 (the scaling baseline), got %v", out)
+	}
+	return out, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtraj: ")
@@ -101,15 +151,22 @@ func main() {
 
 func run() error {
 	var (
-		out        = flag.String("out", "BENCH_PR5.json", "output file for the trajectory document")
+		out        = flag.String("out", "BENCH_PR6.json", "output file for the trajectory document")
 		reps       = flag.Int("reps", 250, "replications per campaign point")
 		iters      = flag.Int("iters", 3, "iterations per measurement (best is reported)")
+		workersCSV = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (must start at 1)")
+		chunk      = flag.Int("chunk", 0, "replications per work item (0 = auto-size; never changes results)")
+		minSpeedup = flag.Float64("min-speedup", 0, "fail unless the 4-worker speedup reaches this (0 = no gate; skipped on hosts with fewer than 4 CPUs)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the live measurements to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile (after the live measurements) to this file")
 	)
 	flag.Parse()
 	if *reps <= 0 || *iters <= 0 {
 		return cliutil.Usagef("-reps and -iters must be positive")
+	}
+	sweep, err := parseWorkers(*workersCSV)
+	if err != nil {
+		return cliutil.Usagef("%v", err)
 	}
 
 	spec := engine.CampaignSpec{
@@ -130,13 +187,19 @@ func run() error {
 		return err
 	}
 	totalRuns := int64(len(points)) * int64(*reps)
+	cpus := runtime.NumCPU()
 	ctx := context.Background()
 
 	measure := func(name string, workers int, store cache.Store, cached bool) (measurement, error) {
-		best := measurement{Name: name, Workers: workers, Cached: cached, Runs: totalRuns}
+		best := measurement{
+			Name: name, Workers: workers, CPUs: cpus, ChunkSize: *chunk,
+			Cached: cached, Runs: totalRuns,
+		}
 		var minAllocs uint64
 		for i := 0; i < *iters; i++ {
-			secs, allocs, err := countingExec(ctx, spec, engine.ExecConfig{Workers: workers, Cache: store})
+			secs, allocs, err := countingExec(ctx, spec, engine.ExecConfig{
+				Workers: workers, ChunkSize: *chunk, Cache: store,
+			})
 			if err != nil {
 				return measurement{}, fmt.Errorf("%s: %w", name, err)
 			}
@@ -149,7 +212,7 @@ func run() error {
 		}
 		best.RunsPerSec = float64(totalRuns) / best.Seconds
 		best.AllocsPerOp = float64(minAllocs) / float64(totalRuns)
-		log.Printf("%-20s %8.0f runs/s  %6.2f allocs/run  (%d runs in %.3fs)",
+		log.Printf("%-22s %8.0f runs/s  %6.2f allocs/run  (%d runs in %.3fs)",
 			name, best.RunsPerSec, best.AllocsPerOp, totalRuns, best.Seconds)
 		return best, nil
 	}
@@ -164,13 +227,15 @@ func run() error {
 			return err
 		}
 	}
-	seq, err := measure("campaign/sequential", 1, nil, false)
-	if err != nil {
-		return err
-	}
-	par, err := measure("campaign/parallel", 0, nil, false)
-	if err != nil {
-		return err
+	var live []measurement
+	byWorkers := make(map[int]measurement, len(sweep))
+	for _, w := range sweep {
+		m, err := measure(fmt.Sprintf("campaign/workers=%d", w), w, nil, false)
+		if err != nil {
+			return err
+		}
+		live = append(live, m)
+		byWorkers[w] = m
 	}
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
@@ -191,7 +256,7 @@ func run() error {
 	}
 	// Cached replay: populate the store once live, then measure replays.
 	store := cache.NewMemory()
-	if _, err := spec.Execute(ctx, engine.ExecConfig{Cache: store}); err != nil {
+	if _, err := spec.Execute(ctx, engine.ExecConfig{Cache: store, ChunkSize: *chunk}); err != nil {
 		return err
 	}
 	cached, err := measure("campaign/cached", 0, store, true)
@@ -199,20 +264,38 @@ func run() error {
 		return err
 	}
 
+	// Derive the scaling curve against the workers=1 baseline.
+	base := byWorkers[1]
+	bestLive := base
+	var d derived
+	for _, w := range sweep[1:] {
+		m := byWorkers[w]
+		d.Scaling = append(d.Scaling, scalingPoint{Workers: w, Speedup: m.RunsPerSec / base.RunsPerSec})
+		if m.RunsPerSec > bestLive.RunsPerSec {
+			bestLive = m
+		}
+	}
+	if cpus == 1 {
+		// A one-CPU sweep timeshares every worker on one core: the ratio
+		// would compare scheduler overhead, not parallel scaling.
+		d.SpeedupNote = "host has 1 CPU; multi-worker throughput ratios measure goroutine scheduling overhead, not parallel scaling, so parallel_speedup is omitted"
+		log.Print("note: single-CPU host; omitting derived parallel_speedup")
+	} else if len(sweep) > 1 {
+		d.ParallelSpeedup = bestLive.RunsPerSec / base.RunsPerSec
+	}
+	d.CacheSpeedup = cached.RunsPerSec / bestLive.RunsPerSec
+
 	rep := report{
-		Schema:    "dlsim-bench-trajectory/v2", // v2: adds allocs_per_run
-		GoVersion: runtime.Version(),
-		CPUs:      runtime.NumCPU(),
-		SpecHash:  hash,
-		Points:    len(points),
-		Reps:      *reps,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Iters:     *iters,
-		Derived: derived{
-			ParallelSpeedup: par.RunsPerSec / seq.RunsPerSec,
-			CacheSpeedup:    cached.RunsPerSec / par.RunsPerSec,
-		},
-		Measurements: []measurement{seq, par, cached},
+		Schema:       "dlsim-bench-trajectory/v3", // v3: per-measurement cpus + chunk_size, scaling curve
+		GoVersion:    runtime.Version(),
+		CPUs:         cpus,
+		SpecHash:     hash,
+		Points:       len(points),
+		Reps:         *reps,
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Iters:        *iters,
+		Derived:      d,
+		Measurements: append(live, cached),
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -222,7 +305,29 @@ func run() error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	log.Printf("parallel speedup %.2fx, cache speedup %.2fx; wrote %s",
-		rep.Derived.ParallelSpeedup, rep.Derived.CacheSpeedup, *out)
+	if d.ParallelSpeedup > 0 {
+		log.Printf("parallel speedup %.2fx (best of sweep), cache speedup %.2fx; wrote %s",
+			d.ParallelSpeedup, d.CacheSpeedup, *out)
+	} else {
+		log.Printf("cache speedup %.2fx; wrote %s", d.CacheSpeedup, *out)
+	}
+
+	// The CI scaling gate: 4 workers on a ≥4-CPU host must beat the
+	// sequential baseline by the given factor.
+	if *minSpeedup > 0 {
+		if cpus < 4 {
+			log.Printf("min-speedup gate skipped: host has %d CPUs, need at least 4 for a meaningful 4-worker measurement", cpus)
+			return nil
+		}
+		m, ok := byWorkers[4]
+		if !ok {
+			return fmt.Errorf("-min-speedup needs a 4-worker measurement; add 4 to -workers (got %s)", *workersCSV)
+		}
+		got := m.RunsPerSec / base.RunsPerSec
+		if got < *minSpeedup {
+			return fmt.Errorf("scaling gate failed: 4-worker speedup %.2fx < required %.2fx", got, *minSpeedup)
+		}
+		log.Printf("scaling gate passed: 4-worker speedup %.2fx >= %.2fx", got, *minSpeedup)
+	}
 	return nil
 }

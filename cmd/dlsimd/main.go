@@ -29,13 +29,32 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"runtime"
+	"strconv"
 	"time"
 
+	"repro/campaign"
 	"repro/internal/cache"
 	"repro/internal/cliutil"
 	"repro/internal/jobs"
 	"repro/internal/service"
 )
+
+// envInt reads an integer default from the environment so deployments
+// can size the daemon without editing unit files; the flag still wins.
+func envInt(name string, fallback int) int {
+	v := os.Getenv(name)
+	if v == "" {
+		return fallback
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		log.Printf("ignoring %s=%q: %v", name, v, err)
+		return fallback
+	}
+	return n
+}
 
 func main() {
 	log.SetFlags(0)
@@ -52,7 +71,8 @@ func run(ctx context.Context) error {
 		cacheDir = flag.String("cache", "", "content-addressed result store directory (default: in-memory only)")
 		queue    = flag.Int("queue", 64, "bounded submission queue depth")
 		jobsN    = flag.Int("jobs", 1, "campaigns executing concurrently")
-		workers  = flag.Int("workers", 0, "concurrent runs per campaign (0 = all CPU cores)")
+		workers  = flag.Int("workers", envInt("DLSIMD_WORKERS", 0), "concurrent runs per campaign (0 = all CPU cores; env DLSIMD_WORKERS)")
+		chunk    = flag.Int("chunk", envInt("DLSIMD_CHUNK", 0), "replications per work item (0 = auto-size; env DLSIMD_CHUNK; never changes results)")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown window for in-flight HTTP requests")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	)
@@ -78,10 +98,29 @@ func run(ctx context.Context) error {
 		QueueDepth:  *queue,
 		Concurrency: *jobsN,
 		Workers:     *workers,
+		ChunkSize:   *chunk,
 	})
 	defer mgr.Close()
 
-	handler := service.New(mgr).Handler()
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	effJobs := *jobsN
+	if effJobs <= 0 {
+		effJobs = 1
+	}
+	log.Printf("execution: %d cpus, %d workers/campaign, chunk=%d (0=auto), %d concurrent campaigns",
+		runtime.NumCPU(), effWorkers, *chunk, effJobs)
+
+	svc := service.New(mgr)
+	svc.SetExecution(campaign.Execution{
+		CPUs:        runtime.NumCPU(),
+		Workers:     effWorkers,
+		ChunkSize:   *chunk,
+		Concurrency: effJobs,
+	})
+	handler := svc.Handler()
 	if *pprofOn {
 		// Off by default: the profiling surface is for operators, not the
 		// public v1 API, and it exposes stacks and heap contents. The

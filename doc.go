@@ -86,16 +86,23 @@
 // point, which validates the spec once, resets the scheduler in place
 // (sched.Resetter — all 15 techniques implement it) and reuses the
 // result buffers and rand48 state via sim.RunInto. The results
-// pipeline batches completed events per worker and reorders them
-// through a fixed-size ring, so per-run pipeline overhead is one
-// channel send and one broadcast per eight runs. None of this changes
-// a single output bit: golden tests prove the optimized path
-// byte-identical (JSONL streams and aggregates) to a naive
+// pipeline distributes work as replication chunks — (point,
+// replication-range) batches auto-sized from the grid and the worker
+// count, tunable via engine.ExecConfig.ChunkSize and dlsimd -chunk —
+// and each worker's runner survives point switches through the
+// engine.Rebinder extension, so one execution context (arena, pooled
+// buffers, rand48 slot) serves a worker's whole share of the grid.
+// Completed chunks reorder through a fixed-size ring, one channel send
+// and at most one broadcast per chunk. None of this changes a single
+// output bit: golden tests prove the optimized path byte-identical
+// (JSONL streams and aggregates) to a naive
 // one-Backend.Run-per-replication execution across backends, seed
-// policies and worker counts, and CI pins sim.Run at 0 steady-state
-// allocs/op. cmd/benchtraj records absolute throughput and allocs/run
-// (BENCH_PR5.json) and takes -cpuprofile/-memprofile for pprof
-// analysis; dlsimd -pprof exposes live /debug/pprof/ handlers.
+// policies, worker counts and chunk sizes, and CI pins sim.Run at 0
+// steady-state allocs/op and gates multi-core scaling (>= 1.5x at 4
+// workers). cmd/benchtraj records absolute throughput, allocs/run and
+// the worker-scaling curve (BENCH_PR6.json) and takes
+// -cpuprofile/-memprofile for pprof analysis; dlsimd -pprof exposes
+// live /debug/pprof/ handlers.
 //
 // The benchmark harness regenerating every figure of the paper lives in
 // bench_test.go and cmd/repro; see DESIGN.md and EXPERIMENTS.md.

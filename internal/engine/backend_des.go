@@ -50,27 +50,43 @@ type desRunner struct {
 
 // NewRunner implements RunnerBackend.
 func (desBackend) NewRunner(spec RunSpec) (Runner, error) {
-	if err := spec.Validate(); err != nil {
+	r := &desRunner{}
+	if err := r.Rebind(spec); err != nil {
 		return nil, err
+	}
+	return r, nil
+}
+
+// Rebind implements Rebinder: validate the new point and rebuild the
+// scheduler, growing the pooled name and result buffers only when the
+// new point has more workers than any point this runner served before.
+func (r *desRunner) Rebind(spec RunSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
 	}
 	s, err := spec.Scheduler()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r := &desRunner{
-		s:     s,
-		names: make([]string, spec.P),
-		out: RunResult{
-			Compute:        make([]float64, spec.P),
-			OpsPerWorker:   make([]int64, spec.P),
-			TasksPerWorker: make([]int64, spec.P),
-		},
-	}
+	r.s = s
 	r.reset, _ = s.(sched.Resetter)
-	for w := range r.names {
-		r.names[w] = fmt.Sprintf("worker-%d", w)
+	if cap(r.names) < spec.P {
+		// Fill the whole backing array so later re-slicing to a larger P
+		// within capacity always exposes initialized names.
+		r.names = make([]string, spec.P)
+		for w := range r.names {
+			r.names[w] = fmt.Sprintf("worker-%d", w)
+		}
+		r.out.Compute = make([]float64, spec.P)
+		r.out.OpsPerWorker = make([]int64, spec.P)
+		r.out.TasksPerWorker = make([]int64, spec.P)
+	} else {
+		r.names = r.names[:spec.P]
+		r.out.Compute = r.out.Compute[:spec.P]
+		r.out.OpsPerWorker = r.out.OpsPerWorker[:spec.P]
+		r.out.TasksPerWorker = r.out.TasksPerWorker[:spec.P]
 	}
-	return r, nil
+	return nil
 }
 
 func (r *desRunner) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {

@@ -65,18 +65,30 @@ type msgRunner struct {
 
 // NewRunner implements RunnerBackend.
 func (msgBackend) NewRunner(spec RunSpec) (Runner, error) {
-	if err := spec.Validate(); err != nil {
+	r := &msgRunner{}
+	if err := r.Rebind(spec); err != nil {
 		return nil, err
 	}
+	return r, nil
+}
+
+// Rebind implements Rebinder: validate the new point and rebuild its
+// scheduler and star platform (platform data is immutable during
+// simulation, so it must match the new point's speeds and P), keeping
+// the runner's rand48 state slot.
+func (r *msgRunner) Rebind(spec RunSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
 	if spec.StartTimes != nil {
-		return nil, fmt.Errorf("engine: backend msg does not support per-PE start times")
+		return fmt.Errorf("engine: backend msg does not support per-PE start times")
 	}
 	if spec.Observe != nil {
-		return nil, fmt.Errorf("engine: backend msg does not support chunk observation; use sim or des")
+		return fmt.Errorf("engine: backend msg does not support chunk observation; use sim or des")
 	}
 	s, err := spec.Scheduler()
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	bw, lat := platform.FreeNetwork()
@@ -90,7 +102,7 @@ func (msgBackend) NewRunner(spec RunSpec) (Runner, error) {
 		pl, err = platform.Cluster("pe", spec.P, 1.0, bw, lat)
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	workers := make([]string, spec.P)
 	for i := range workers {
@@ -100,7 +112,7 @@ func (msgBackend) NewRunner(spec RunSpec) (Runner, error) {
 	if spec.HInDynamics {
 		masterOverhead = spec.H
 	}
-	r := &msgRunner{pl: pl, s: s}
+	r.pl, r.s = pl, s
 	r.res, _ = s.(sched.Resetter)
 	r.app = msg.AppConfig{
 		MasterHost:     "pe-0",
@@ -111,7 +123,7 @@ func (msgBackend) NewRunner(spec RunSpec) (Runner, error) {
 		ReferenceSpeed: 1,
 		MasterOverhead: masterOverhead,
 	}
-	return r, nil
+	return nil
 }
 
 func (r *msgRunner) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {

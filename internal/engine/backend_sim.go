@@ -37,7 +37,9 @@ func (simBackend) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {
 // simRunner is the amortized execution state for one campaign point:
 // spec validated once, scheduler Reset per run, rand48 re-seeded in
 // place, and all result buffers pooled in a sim.Arena. Steady-state runs
-// perform zero heap allocations.
+// perform zero heap allocations. Rebind re-points the runner at a new
+// point while keeping the arena, so one runner (and its memory) can
+// serve a whole worker's share of the grid.
 type simRunner struct {
 	cfg   sim.Config
 	reset sched.Resetter // nil: scheduler must be rebuilt per run
@@ -48,14 +50,24 @@ type simRunner struct {
 
 // NewRunner implements RunnerBackend.
 func (simBackend) NewRunner(spec RunSpec) (Runner, error) {
-	if err := spec.Validate(); err != nil {
+	r := &simRunner{}
+	if err := r.Rebind(spec); err != nil {
 		return nil, err
+	}
+	return r, nil
+}
+
+// Rebind implements Rebinder: validate the new point, build its
+// scheduler, and retain the arena (which re-sizes itself to the new P
+// on the next run).
+func (r *simRunner) Rebind(spec RunSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
 	}
 	s, err := spec.Scheduler()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r := &simRunner{}
 	r.reset, _ = s.(sched.Resetter)
 	r.cfg = sim.Config{
 		P:              spec.P,
@@ -69,7 +81,7 @@ func (simBackend) NewRunner(spec RunSpec) (Runner, error) {
 		PerMessageCost: spec.PerMessageCost,
 		Observe:        spec.Observe,
 	}
-	return r, nil
+	return nil
 }
 
 func (r *simRunner) Run(ctx context.Context, spec RunSpec) (*RunResult, error) {

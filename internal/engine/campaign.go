@@ -32,6 +32,12 @@ type Campaign struct {
 	// GOMAXPROCS.
 	Workers int
 
+	// ChunkSize is the number of consecutive replications of one point
+	// executed per work item. Larger chunks amortize pipeline overhead;
+	// smaller chunks balance load. 0 auto-sizes from the grid and the
+	// worker count. Results are bit-identical for every chunk size.
+	ChunkSize int
+
 	// SeedFor derives the rand48 state of run (point, rep). Nil selects
 	// rng.RunSeed(Points[point].RNGState, rep), the derivation the
 	// experiment layer has always used.

@@ -156,6 +156,18 @@ type RunnerBackend interface {
 	NewRunner(spec RunSpec) (Runner, error)
 }
 
+// Rebinder is the optional Runner extension behind per-core execution
+// contexts: Rebind re-points an existing runner at a new campaign point
+// while retaining its arenas and pooled buffers, so a long-lived
+// per-worker runner survives point switches instead of being rebuilt.
+// After a successful Rebind the runner must behave exactly like a fresh
+// NewRunner(spec); after a failed Rebind the runner may not be used
+// again. All three built-in runners implement it.
+type Rebinder interface {
+	Runner
+	Rebind(spec RunSpec) error
+}
+
 // Clone returns a deep copy of the result, detaching it from any runner
 // arena it may alias.
 func (r *RunResult) Clone() *RunResult {

@@ -15,6 +15,11 @@ type ExecConfig struct {
 	// Workers bounds concurrently executing runs; 0 selects GOMAXPROCS.
 	Workers int
 
+	// ChunkSize is the number of consecutive replications executed per
+	// work item (see Campaign.ChunkSize); 0 auto-sizes. Like Workers it
+	// changes scheduling, never results.
+	ChunkSize int
+
 	// KeepPerRun retains the per-run metrics in each Aggregate (the
 	// paper's Figure 9 analysis needs them).
 	KeepPerRun bool
@@ -96,6 +101,7 @@ func (s CampaignSpec) Execute(ctx context.Context, cfg ExecConfig) (*CampaignRes
 		Points:       points,
 		Replications: s.Replications,
 		Workers:      cfg.Workers,
+		ChunkSize:    cfg.ChunkSize,
 		SeedFor:      s.seedFunc(points),
 	}
 	// Per-run metrics are always folded by the aggregating sink; they

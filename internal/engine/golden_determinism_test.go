@@ -18,13 +18,19 @@ import (
 // simulation output.
 
 // goldenRun executes the spec's campaign and returns the JSONL stream
-// bytes plus the campaign result.
+// bytes plus the campaign result. chunkSize 0 auto-sizes.
 func goldenRun(t *testing.T, spec CampaignSpec, workers int, naive bool) ([]byte, *CampaignResult) {
+	t.Helper()
+	return goldenRunChunked(t, spec, workers, 0, naive)
+}
+
+func goldenRunChunked(t *testing.T, spec CampaignSpec, workers, chunkSize int, naive bool) ([]byte, *CampaignResult) {
 	t.Helper()
 	c, err := spec.Compile(workers)
 	if err != nil {
 		t.Fatal(err)
 	}
+	c.ChunkSize = chunkSize
 	c.disableRunners = naive
 	c.KeepRuns = true // exercises the arena-result Clone path too
 	var buf bytes.Buffer
@@ -103,6 +109,42 @@ func TestGoldenDeterminismRetainedResults(t *testing.T) {
 			if &rs[i].Compute[0] == &rs[i-1].Compute[0] {
 				t.Fatalf("point %d: results %d and %d share a Compute buffer", pi, i-1, i)
 			}
+		}
+	}
+}
+
+// TestGoldenDeterminismChunkedVsPerRun pins the batched pipeline against
+// the per-run reference: for every backend, every seed policy and a
+// spread of worker counts and chunk sizes — including chunk=1 (one run
+// per work item, the pre-batching shape) and chunk=7 > Replications=6
+// (clamped to one chunk per point) — the chunked pipeline's JSONL bytes
+// and aggregates must equal the naive path's. Chunking is scheduling
+// only; a differing byte means batching leaked into simulation output.
+func TestGoldenDeterminismChunkedVsPerRun(t *testing.T) {
+	for _, backend := range []string{"sim", "des", "msg"} {
+		for _, policy := range []string{SeedPerCell, SeedFlat, SeedFacade, SeedShared} {
+			t.Run(backend+"/"+policy, func(t *testing.T) {
+				spec := goldenSpec(backend)
+				spec.SeedPolicy = policy
+				refStream, refRes := goldenRun(t, spec, 1, true)
+				if len(refStream) == 0 {
+					t.Fatal("reference stream is empty")
+				}
+				for _, workers := range []int{1, 2, 4, 8} {
+					for _, chunk := range []int{1, 2, 4, 7} {
+						gotStream, gotRes := goldenRunChunked(t, spec, workers, chunk, false)
+						if !bytes.Equal(gotStream, refStream) {
+							t.Errorf("workers=%d chunk=%d: JSONL stream differs from per-run path", workers, chunk)
+						}
+						if !reflect.DeepEqual(gotRes.Aggregates, refRes.Aggregates) {
+							t.Errorf("workers=%d chunk=%d: aggregates differ from per-run path", workers, chunk)
+						}
+						if gotRes.Overall != refRes.Overall {
+							t.Errorf("workers=%d chunk=%d: overall roll-up differs from per-run path", workers, chunk)
+						}
+					}
+				}
+			})
 		}
 	}
 }

@@ -45,8 +45,9 @@ type Sink interface {
 
 // Stream executes the campaign, emitting every completed run to the
 // given sinks instead of materializing results. This is the primitive
-// Run is built on: the worker pool completes runs in arbitrary order, a
-// reorder stage restores deterministic (point, replication) order, and
+// Run is built on: the worker pool executes replication batches
+// (chunks) in arbitrary completion order, a reorder stage restores
+// deterministic (point, replication) order at chunk granularity, and
 // sinks observe the exact event sequence a serial execution would
 // produce. All sinks are closed before Stream returns; the first run or
 // sink error aborts the remaining grid and is returned.
@@ -104,11 +105,30 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 	if workers > total {
 		workers = total
 	}
-	// Backends exposing the amortized Runner path serve each point with
-	// per-worker runners: spec validated once, scheduler reset instead of
-	// rebuilt, pooled result buffers. The generic Backend.Run fallback
-	// (and the disableRunners test hook) revalidates and reallocates per
-	// run; both paths produce bit-identical events.
+	// The unit of work is a chunk: a (point, replication-range) batch a
+	// worker executes end to end on its private execution context. One
+	// channel send and one reorder pass per chunk — not per run —
+	// amortizes pipeline overhead to ~0 per run once chunks carry tens
+	// of replications.
+	chunkSize := c.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = autoChunkSize(total, reps, workers)
+	}
+	if chunkSize > reps {
+		chunkSize = reps
+	}
+	chunksPerPoint := (reps + chunkSize - 1) / chunkSize
+	totalChunks := int64(len(c.Points)) * int64(chunksPerPoint)
+	if int64(workers) > totalChunks {
+		workers = int(totalChunks)
+	}
+	// Backends exposing the amortized Runner path give each worker a
+	// per-core execution context: spec validated once per point, the
+	// scheduler Reset instead of rebuilt, result buffers pooled in the
+	// worker's arena (and retained across points via Rebind). The
+	// generic Backend.Run fallback (and the disableRunners test hook)
+	// revalidates and reallocates per run; both paths produce
+	// bit-identical events.
 	rb, _ := be.(RunnerBackend)
 	if c.disableRunners {
 		rb = nil
@@ -121,21 +141,27 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 		firstErr error
 		wg       sync.WaitGroup
 
-		// nextOut is the next event index the reorder stage dispatches
+		// nextOut is the next chunk index the reorder stage dispatches
 		// (its published value; the reorder goroutine's private counter
-		// runs ahead within a batch). Workers wait before executing runs
-		// more than window indices ahead of it, which bounds the reorder
-		// ring under arbitrary run-duration skew (one pathologically slow
-		// run cannot make the buffer absorb the whole remaining grid).
+		// runs ahead while draining). Workers wait before executing
+		// chunks more than window indices ahead of it, which bounds the
+		// reorder ring under arbitrary run-duration skew (one
+		// pathologically slow chunk cannot make the buffer absorb the
+		// whole remaining grid).
 		outMu   sync.Mutex
 		outCond = sync.NewCond(&outMu)
 		nextOut int64
 	)
-	// Completed events travel in per-worker batches — one channel send
-	// and at most one broadcast per eventBatch runs instead of per run —
-	// and the window is sized so batching slack cannot stall the ring.
-	const eventBatch = 8
-	window := int64(4 * eventBatch * workers)
+	// The in-flight window is in chunk units: enough slack that fast
+	// workers never stall behind one slow chunk, small enough that the
+	// ring buffers at most window chunks of completed events.
+	window := int64(4 * workers)
+	if window < 8 {
+		window = 8
+	}
+	if window > totalChunks {
+		window = totalChunks
+	}
 	fail := func(err error) {
 		errMu.Lock()
 		if firstErr == nil {
@@ -163,7 +189,13 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 		}
 	}()
 
-	events := make(chan []Event, workers)
+	// chunkDone carries one completed (possibly partial, on abort) chunk
+	// from a worker to the reorder stage.
+	type chunkDone struct {
+		idx    int64 // global chunk index
+		events []Event
+	}
+	chunks := make(chan chunkDone, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -172,116 +204,133 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 				runner   Runner
 				runnerPt = -1
 			)
-			batch := make([]Event, 0, eventBatch)
-			flush := func() {
-				if len(batch) > 0 {
-					events <- batch
-					batch = make([]Event, 0, eventBatch)
-				}
-			}
-			defer flush() // runs before wg.Done, so before close(events)
 			for {
-				j := next.Add(1) - 1
-				if j >= int64(total) || failed.Load() {
+				k := next.Add(1) - 1
+				if k >= totalChunks || failed.Load() {
 					return
 				}
+				// A worker holds no completed events while parked (chunks
+				// are handed over as soon as they finish), so waiting on
+				// the window can never starve the reorder stage.
 				outMu.Lock()
-				if j >= nextOut+window {
-					// The reorder stage may be waiting for an event in
-					// this worker's pocket; hand it over before parking.
-					outMu.Unlock()
-					flush()
-					outMu.Lock()
-					for j >= nextOut+window && !failed.Load() {
-						outCond.Wait()
-					}
+				for k >= nextOut+window && !failed.Load() {
+					outCond.Wait()
 				}
 				outMu.Unlock()
 				if failed.Load() {
 					return
 				}
-				pi, rep := int(j)/reps, int(j)%reps
-				spec := c.Points[pi]
-				spec.RNGState = seedFor(pi, rep)
-				var res *RunResult
-				var err error
-				if rb != nil {
-					if runnerPt != pi {
-						if runner, err = rb.NewRunner(c.Points[pi]); err != nil {
-							fail(fmt.Errorf("engine: point %d replication %d: %w", pi, rep, err))
-							return
-						}
-						runnerPt = pi
+				pi := int(k / int64(chunksPerPoint))
+				repLo := int(k%int64(chunksPerPoint)) * chunkSize
+				repHi := repLo + chunkSize
+				if repHi > reps {
+					repHi = reps
+				}
+				if rb != nil && runnerPt != pi {
+					var err error
+					if rbn, ok := runner.(Rebinder); ok {
+						// Keep the worker's execution context (arenas,
+						// pooled buffers) alive across point switches.
+						err = rbn.Rebind(c.Points[pi])
+					} else {
+						runner, err = rb.NewRunner(c.Points[pi])
 					}
-					res, err = runner.Run(ctx, spec)
-				} else {
-					res, err = be.Run(ctx, spec)
+					if err != nil {
+						fail(fmt.Errorf("engine: point %d: %w", pi, err))
+						return
+					}
+					runnerPt = pi
 				}
-				if err != nil {
-					fail(fmt.Errorf("engine: point %d replication %d: %w", pi, rep, err))
-					return
-				}
-				ev := Event{Point: pi, Rep: rep, Spec: spec, Metrics: pointMetrics(spec, res)}
-				if c.KeepRuns {
+				batch := make([]Event, 0, repHi-repLo)
+				aborted := false
+				for rep := repLo; rep < repHi; rep++ {
+					if failed.Load() {
+						aborted = true
+						break
+					}
+					spec := c.Points[pi]
+					spec.RNGState = seedFor(pi, rep)
+					var res *RunResult
+					var err error
 					if rb != nil {
-						// Runner results alias the runner's arena; detach
-						// them before the next run overwrites the buffers.
-						res = res.Clone()
+						res, err = runner.Run(ctx, spec)
+					} else {
+						res, err = be.Run(ctx, spec)
 					}
-					ev.Result = res
+					if err != nil {
+						fail(fmt.Errorf("engine: point %d replication %d: %w", pi, rep, err))
+						aborted = true
+						break
+					}
+					ev := Event{Point: pi, Rep: rep, Spec: spec, Metrics: pointMetrics(spec, res)}
+					if c.KeepRuns {
+						if rb != nil {
+							// Runner results alias the runner's arena; detach
+							// them before the next run overwrites the buffers.
+							res = res.Clone()
+						}
+						ev.Result = res
+					}
+					batch = append(batch, ev)
 				}
-				batch = append(batch, ev)
-				if len(batch) >= eventBatch {
-					flush()
+				// A partial chunk is only produced after fail(), whose
+				// atomic store happens before this send — the reorder
+				// stage observes failed and never dispatches it, so the
+				// delivered stream stays a contiguous prefix.
+				chunks <- chunkDone{idx: k, events: batch}
+				if aborted {
+					return
 				}
 			}
 		}()
 	}
 	go func() {
 		wg.Wait()
-		close(events)
+		close(chunks)
 	}()
 
-	// Reorder completed runs into global (point, replication) order and
-	// dispatch. The ring holds events completed ahead of the oldest
-	// still-running run; the worker-side window bounds in-flight indices
-	// to [nextOut, nextOut+window), so slot j%window is collision-free
-	// and no per-event map churn occurs. nextOutLocal is the reorder
-	// stage's private cursor, published to nextOut (with one broadcast)
-	// once per drained batch.
+	// Reorder completed chunks into global order and dispatch. Events
+	// within a chunk are already in replication order, so ordering the
+	// chunks orders the whole stream. The worker-side window bounds
+	// in-flight chunk indices to [nextOut, nextOut+window), so slot
+	// k%window is collision-free. nextOutLocal is the reorder stage's
+	// private cursor, published to nextOut (with one broadcast) once per
+	// received chunk that advances it.
 	var (
-		ring         = make([]Event, window)
+		ring         = make([][]Event, window)
 		present      = make([]bool, window)
 		nextOutLocal int64
 	)
-	for batch := range events {
-		for _, ev := range batch {
-			idx := (int64(ev.Point)*int64(reps) + int64(ev.Rep)) % window
-			ring[idx] = ev
-			present[idx] = true
-		}
-		dispatched := false
+	for cd := range chunks {
+		slot := cd.idx % window
+		ring[slot] = cd.events
+		present[slot] = true
+		advanced := false
 		for {
-			idx := nextOutLocal % window
-			if !present[idx] {
+			slot := nextOutLocal % window
+			if !present[slot] {
 				break
 			}
-			out := ring[idx]
-			ring[idx] = Event{} // drop the Result reference
-			present[idx] = false
+			evs := ring[slot]
+			ring[slot] = nil
+			present[slot] = false
 			nextOutLocal++
-			dispatched = true
-			if failed.Load() {
-				continue // drain without dispatching after an abort
-			}
-			for _, s := range sinks {
-				if err := s.Consume(ctx, out); err != nil {
-					fail(fmt.Errorf("engine: sink: %w", err))
-					break
+			advanced = true
+			for i := range evs {
+				if failed.Load() {
+					break // drain without dispatching after an abort
+				}
+				out := evs[i]
+				evs[i] = Event{} // drop the Result reference
+				for _, s := range sinks {
+					if err := s.Consume(ctx, out); err != nil {
+						fail(fmt.Errorf("engine: sink: %w", err))
+						break
+					}
 				}
 			}
 		}
-		if dispatched {
+		if advanced {
 			outMu.Lock()
 			nextOut = nextOutLocal
 			outCond.Broadcast()
@@ -296,6 +345,32 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 	err = firstErr
 	errMu.Unlock()
 	return closeAll(err)
+}
+
+// autoChunkSize picks the replication-batch size when the caller didn't:
+// large enough that the per-chunk pipeline overhead (one channel send,
+// one reorder pass, at most one broadcast) amortizes to ~0 per run,
+// small enough to keep ~8 chunks per worker in flight for load balance.
+// Chunks never span points, so the result is capped at the per-point
+// replication count, and a hard ceiling bounds how many completed
+// events the reorder window can buffer. Chunk size affects scheduling
+// only — the delivered stream is bit-identical for every value.
+func autoChunkSize(total, reps, workers int) int {
+	const (
+		chunksPerWorker = 8
+		maxChunk        = 1024
+	)
+	c := total / (workers * chunksPerWorker)
+	if c < 1 {
+		c = 1
+	}
+	if c > maxChunk {
+		c = maxChunk
+	}
+	if c > reps {
+		c = reps
+	}
+	return c
 }
 
 // aggregateSink folds the event stream into per-point Aggregates — the

@@ -76,6 +76,11 @@ type Config struct {
 	// Workers bounds the per-campaign run concurrency; 0 selects
 	// GOMAXPROCS (see engine.ExecConfig.Workers).
 	Workers int
+
+	// ChunkSize is the number of consecutive replications executed per
+	// work item inside a campaign; 0 auto-sizes (see
+	// engine.ExecConfig.ChunkSize). Never changes results.
+	ChunkSize int
 }
 
 // Job is one submitted campaign. All exported methods are safe for
@@ -170,6 +175,7 @@ func (s progressSink) Close() error { return nil }
 type Manager struct {
 	store   cache.Store
 	workers int
+	chunk   int // replications per work item; 0 = auto
 	depth   int // max queued (not yet running) jobs
 
 	ctx    context.Context // base context; Close cancels it
@@ -203,6 +209,7 @@ func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		store:   cfg.Store,
 		workers: cfg.Workers,
+		chunk:   cfg.ChunkSize,
 		depth:   cfg.QueueDepth,
 		ctx:     ctx,
 		stop:    stop,
@@ -411,9 +418,10 @@ func (m *Manager) Results(ctx context.Context, id string, sinks ...engine.Sink) 
 	// transparently re-runs the campaign — determinism makes the bytes
 	// identical either way.
 	_, err = j.spec.Execute(ctx, engine.ExecConfig{
-		Workers: m.workers,
-		Cache:   m.store,
-		Sinks:   sinks,
+		Workers:   m.workers,
+		ChunkSize: m.chunk,
+		Cache:     m.store,
+		Sinks:     sinks,
 	})
 	return err
 }
@@ -494,9 +502,10 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Unlock()
 
 	_, err := j.spec.Execute(ctx, engine.ExecConfig{
-		Workers: m.workers,
-		Cache:   m.store,
-		Sinks:   []engine.Sink{progressSink{j}},
+		Workers:   m.workers,
+		ChunkSize: m.chunk,
+		Cache:     m.store,
+		Sinks:     []engine.Sink{progressSink{j}},
 	})
 
 	m.retire(j)

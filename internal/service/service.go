@@ -44,11 +44,17 @@ import (
 
 // Server routes HTTP requests to a job manager.
 type Server struct {
-	mgr *jobs.Manager
+	mgr  *jobs.Manager
+	exec *campaign.Execution
 }
 
 // New returns a server fronting the given manager.
 func New(mgr *jobs.Manager) *Server { return &Server{mgr: mgr} }
+
+// SetExecution attaches the daemon's effective execution configuration
+// (CPU count, worker pool, chunk size) to the GET /v1 description.
+// Informational only; call before Handler is served.
+func (s *Server) SetExecution(e campaign.Execution) { s.exec = &e }
 
 // Handler builds the service's route table.
 func (s *Server) Handler() http.Handler {
@@ -92,6 +98,7 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) describe(w http.ResponseWriter, _ *http.Request) {
 	d := campaign.LocalDescription()
 	d.Service = "dlsimd"
+	d.Execution = s.exec
 	writeJSON(w, http.StatusOK, d)
 }
 

@@ -290,6 +290,25 @@ func TestServiceDiscoveryAndEnvelope(t *testing.T) {
 		len(desc.Techniques) == 0 || len(desc.Backends) == 0 || len(desc.SeedPolicies) != 4 {
 		t.Fatalf("description = %+v", desc)
 	}
+	if desc.Execution != nil {
+		t.Fatalf("execution should be omitted until SetExecution, got %+v", desc.Execution)
+	}
+
+	// SetExecution surfaces the daemon's effective configuration in the
+	// discovery document.
+	execSrv := New(mgr)
+	execSrv.SetExecution(campaign.Execution{CPUs: 8, Workers: 4, ChunkSize: 16, Concurrency: 2})
+	srv2 := httptest.NewServer(execSrv.Handler())
+	defer srv2.Close()
+	var desc2 campaign.Description
+	code, body = (&client{t: t, base: srv2.URL}).do(http.MethodGet, "/v1", nil)
+	if err := json.Unmarshal(body, &desc2); err != nil || code != http.StatusOK {
+		t.Fatalf("GET /v1 with execution = %d (%v): %s", code, err, body)
+	}
+	if desc2.Execution == nil ||
+		*desc2.Execution != (campaign.Execution{CPUs: 8, Workers: 4, ChunkSize: 16, Concurrency: 2}) {
+		t.Fatalf("execution block = %+v", desc2.Execution)
+	}
 	code, body = c.do(http.MethodGet, "/v1/techniques", nil)
 	if code != http.StatusOK || !strings.Contains(string(body), "FAC2") {
 		t.Fatalf("GET /v1/techniques = %d: %s", code, body)
