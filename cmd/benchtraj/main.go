@@ -2,25 +2,30 @@
 // trajectory: it measures campaign throughput (runs per second) and the
 // per-run allocation profile through the engine's streaming pipeline
 // under the configurations future PRs need to compare against — a
-// multi-worker scaling sweep and live vs cache-replayed results — and
-// writes them as one JSON document (BENCH_PR6.json at the repo root for
-// this PR, next to the earlier BENCH_PR3.json and BENCH_PR5.json).
+// multi-worker scaling sweep (these rows run the aggregate fast path:
+// no per-run sink, so chunk partials bypass per-event delivery), the
+// ordered per-event path for comparison, and the two cache-hit shapes:
+// per-run replay (a sink consumes every stored record, decoded from the
+// binary cache format) and the aggregate-only snapshot hit (stored
+// aggregates served without touching per-run records). The samples are
+// written as one JSON document (BENCH_PR7.json at the repo root for
+// this PR, next to the earlier BENCH_PR3/5/6.json).
 //
 // It complements `go test -bench` (which guards against regressions in
 // relative terms on a developer's machine) by recording absolute
 // throughput numbers in a stable schema that CI artifacts and later
 // PRs can diff:
 //
-//	go run ./cmd/benchtraj -out BENCH_PR6.json
+//	go run ./cmd/benchtraj -out BENCH_PR7.json
 //	go run ./cmd/benchtraj -reps 50 -out /dev/stdout      # quick look
 //	go run ./cmd/benchtraj -workers 1,2,4 -min-speedup 1.5 # CI scaling gate
+//	go run ./cmd/benchtraj -min-cache-speedup 20           # CI replay gate
 //
 // Every measurement executes the identical declarative campaign spec,
 // so the work per run is constant across configurations and PRs
 // (changing the spec bumps the schema's spec_hash, making stale
-// comparisons detectable). BENCH_PR6.json's spec hash matches
-// BENCH_PR3.json's and BENCH_PR5.json's, so the documents are directly
-// comparable.
+// comparisons detectable). BENCH_PR7.json's spec hash matches
+// BENCH_PR3/5/6.json's, so the documents are directly comparable.
 //
 // Each measurement records the host CPU count it ran on. On a
 // single-CPU host the worker goroutines timeshare one core, so the
@@ -99,9 +104,25 @@ type derived struct {
 	SpeedupNote string `json:"speedup_note,omitempty"`
 	// Scaling is the full speedup-vs-workers curve of the sweep.
 	Scaling []scalingPoint `json:"scaling,omitempty"`
-	// CacheSpeedup is cached replay vs the fastest live measurement.
+	// CacheSpeedup is the aggregate-only snapshot hit vs the fastest
+	// live measurement (the field predates the replay/snapshot split and
+	// keeps its name for cross-PR comparability).
 	CacheSpeedup float64 `json:"cache_speedup"`
+	// ReplaySpeedup is the per-run cached replay (every stored record
+	// decoded and delivered to a sink) vs the fastest live measurement.
+	ReplaySpeedup float64 `json:"replay_speedup"`
+	// FastPathSpeedup is the aggregate fast path (chunk partials, no
+	// per-run events) vs the ordered per-event path at one worker.
+	FastPathSpeedup float64 `json:"fast_path_speedup"`
 }
+
+// discardSink consumes ordered per-run events and drops them. It has no
+// ConsumePartial on purpose: attaching it forces the engine's per-event
+// path, which is exactly what the ordered and replay rows must pay for.
+type discardSink struct{}
+
+func (discardSink) Consume(context.Context, engine.Event) error { return nil }
+func (discardSink) Close() error                                { return nil }
 
 // countingExec runs one campaign execution and returns its wall time and
 // the heap allocations performed during it. ReadMemStats is global, so
@@ -151,14 +172,15 @@ func main() {
 
 func run() error {
 	var (
-		out        = flag.String("out", "BENCH_PR6.json", "output file for the trajectory document")
-		reps       = flag.Int("reps", 250, "replications per campaign point")
-		iters      = flag.Int("iters", 3, "iterations per measurement (best is reported)")
-		workersCSV = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (must start at 1)")
-		chunk      = flag.Int("chunk", 0, "replications per work item (0 = auto-size; never changes results)")
-		minSpeedup = flag.Float64("min-speedup", 0, "fail unless the 4-worker speedup reaches this (0 = no gate; skipped on hosts with fewer than 4 CPUs)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the live measurements to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile (after the live measurements) to this file")
+		out          = flag.String("out", "BENCH_PR7.json", "output file for the trajectory document")
+		reps         = flag.Int("reps", 250, "replications per campaign point")
+		iters        = flag.Int("iters", 3, "iterations per measurement (best is reported)")
+		workersCSV   = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (must start at 1)")
+		chunk        = flag.Int("chunk", 0, "replications per work item (0 = auto-size; never changes results)")
+		minSpeedup   = flag.Float64("min-speedup", 0, "fail unless the 4-worker speedup reaches this (0 = no gate; skipped on hosts with fewer than 4 CPUs)")
+		minCacheSpup = flag.Float64("min-cache-speedup", 0, "fail unless the per-run cached replay beats the fastest live run by this factor (0 = no gate)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the live measurements to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the live measurements) to this file")
 	)
 	flag.Parse()
 	if *reps <= 0 || *iters <= 0 {
@@ -190,15 +212,19 @@ func run() error {
 	cpus := runtime.NumCPU()
 	ctx := context.Background()
 
-	measure := func(name string, workers int, store cache.Store, cached bool) (measurement, error) {
+	measure := func(name string, workers int, store cache.Store, cached, ordered bool) (measurement, error) {
 		best := measurement{
 			Name: name, Workers: workers, CPUs: cpus, ChunkSize: *chunk,
 			Cached: cached, Runs: totalRuns,
 		}
 		var minAllocs uint64
 		for i := 0; i < *iters; i++ {
+			var sinks []engine.Sink
+			if ordered {
+				sinks = []engine.Sink{discardSink{}}
+			}
 			secs, allocs, err := countingExec(ctx, spec, engine.ExecConfig{
-				Workers: workers, ChunkSize: *chunk, Cache: store,
+				Workers: workers, ChunkSize: *chunk, Cache: store, Sinks: sinks,
 			})
 			if err != nil {
 				return measurement{}, fmt.Errorf("%s: %w", name, err)
@@ -230,13 +256,20 @@ func run() error {
 	var live []measurement
 	byWorkers := make(map[int]measurement, len(sweep))
 	for _, w := range sweep {
-		m, err := measure(fmt.Sprintf("campaign/workers=%d", w), w, nil, false)
+		m, err := measure(fmt.Sprintf("campaign/workers=%d", w), w, nil, false, false)
 		if err != nil {
 			return err
 		}
 		live = append(live, m)
 		byWorkers[w] = m
 	}
+	// The ordered per-event path at one worker: same campaign with one
+	// order-sensitive sink attached, which disables the partial bypass.
+	orderedRow, err := measure("campaign/ordered/workers=1", 1, nil, false, true)
+	if err != nil {
+		return err
+	}
+	live = append(live, orderedRow)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -254,12 +287,19 @@ func run() error {
 			return err
 		}
 	}
-	// Cached replay: populate the store once live, then measure replays.
+	// Cache hits: populate the store once live, then measure both hit
+	// shapes — the per-run replay (a sink consumes every stored record,
+	// decoded from the binary format) and the aggregate-only snapshot hit
+	// (stored aggregates served without touching per-run records).
 	store := cache.NewMemory()
 	if _, err := spec.Execute(ctx, engine.ExecConfig{Cache: store, ChunkSize: *chunk}); err != nil {
 		return err
 	}
-	cached, err := measure("campaign/cached", 0, store, true)
+	replay, err := measure("campaign/cached-replay", 0, store, true, true)
+	if err != nil {
+		return err
+	}
+	snapshot, err := measure("campaign/cached-snapshot", 0, store, true, false)
 	if err != nil {
 		return err
 	}
@@ -283,7 +323,9 @@ func run() error {
 	} else if len(sweep) > 1 {
 		d.ParallelSpeedup = bestLive.RunsPerSec / base.RunsPerSec
 	}
-	d.CacheSpeedup = cached.RunsPerSec / bestLive.RunsPerSec
+	d.CacheSpeedup = snapshot.RunsPerSec / bestLive.RunsPerSec
+	d.ReplaySpeedup = replay.RunsPerSec / bestLive.RunsPerSec
+	d.FastPathSpeedup = base.RunsPerSec / orderedRow.RunsPerSec
 
 	rep := report{
 		Schema:       "dlsim-bench-trajectory/v3", // v3: per-measurement cpus + chunk_size, scaling curve
@@ -295,7 +337,7 @@ func run() error {
 		Generated:    time.Now().UTC().Format(time.RFC3339),
 		Iters:        *iters,
 		Derived:      d,
-		Measurements: append(live, cached),
+		Measurements: append(live, replay, snapshot),
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -306,10 +348,11 @@ func run() error {
 		return err
 	}
 	if d.ParallelSpeedup > 0 {
-		log.Printf("parallel speedup %.2fx (best of sweep), cache speedup %.2fx; wrote %s",
-			d.ParallelSpeedup, d.CacheSpeedup, *out)
+		log.Printf("parallel speedup %.2fx (best of sweep), replay %.2fx, snapshot %.2fx, fast path %.2fx; wrote %s",
+			d.ParallelSpeedup, d.ReplaySpeedup, d.CacheSpeedup, d.FastPathSpeedup, *out)
 	} else {
-		log.Printf("cache speedup %.2fx; wrote %s", d.CacheSpeedup, *out)
+		log.Printf("replay speedup %.2fx, snapshot %.2fx, fast path %.2fx; wrote %s",
+			d.ReplaySpeedup, d.CacheSpeedup, d.FastPathSpeedup, *out)
 	}
 
 	// The CI scaling gate: 4 workers on a ≥4-CPU host must beat the
@@ -328,6 +371,17 @@ func run() error {
 			return fmt.Errorf("scaling gate failed: 4-worker speedup %.2fx < required %.2fx", got, *minSpeedup)
 		}
 		log.Printf("scaling gate passed: 4-worker speedup %.2fx >= %.2fx", got, *minSpeedup)
+	}
+
+	// The CI replay gate: a per-run cache hit must beat the fastest live
+	// run by the given factor. Unlike the scaling gate, this needs no CPU
+	// minimum — the replay is a single-threaded feed loop and the ratio
+	// only grows on hosts where the live sweep parallelizes worse.
+	if *minCacheSpup > 0 {
+		if d.ReplaySpeedup < *minCacheSpup {
+			return fmt.Errorf("cache replay gate failed: replay speedup %.2fx < required %.2fx", d.ReplaySpeedup, *minCacheSpup)
+		}
+		log.Printf("cache replay gate passed: replay speedup %.2fx >= %.2fx", d.ReplaySpeedup, *minCacheSpup)
 	}
 	return nil
 }

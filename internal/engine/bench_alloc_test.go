@@ -118,3 +118,40 @@ func TestCampaignAllocationBudget(t *testing.T) {
 		t.Errorf("runner path allocates %.2f per run, ceiling is 2", perRun)
 	}
 }
+
+// TestAggregateFastPathAllocationBudget is the fast-path allocation
+// gate: an aggregate-only campaign (every sink chunk-granular, so no
+// per-run Event ever crosses a channel) must stay at or below 0.05
+// allocations per run — effectively zero steady-state allocation, with
+// the fixed campaign setup amortized over a 5000-run grid. It must also
+// allocate no more than the ordered event path it bypasses.
+func TestAggregateFastPathAllocationBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow under -short")
+	}
+	measure := func(ordered bool) float64 {
+		c, err := benchSpec(2500).Compile(1) // 2 points × 2500 reps = 5000 runs
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.disablePartials = ordered
+		return testing.AllocsPerRun(2, func() {
+			if _, err := c.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	fast := measure(false)
+	ordered := measure(true)
+	perRun := fast / 5000
+	t.Logf("allocs per 5000-run campaign: fast path %.0f (%.4f/run), ordered path %.0f", fast, perRun, ordered)
+	if perRun > 0.05 {
+		t.Errorf("aggregate fast path allocates %.4f per run, budget is 0.05", perRun)
+	}
+	// The bypass buys per-run savings at a small fixed setup cost (the
+	// chunk-buffer pool, the streamed cross-check accumulators); it must
+	// never cost more than that fixed overhead relative to the event path.
+	if fast > ordered+16 {
+		t.Errorf("fast path allocates %.0f per campaign vs ordered %.0f: exceeds fixed-setup slack", fast, ordered)
+	}
+}

@@ -52,6 +52,12 @@ type Campaign struct {
 	// determinism tests prove the amortized runner path bit-identical to
 	// this one.
 	disableRunners bool
+
+	// disablePartials forces per-run event delivery even when every sink
+	// supports chunk-granular partials. Test hook: the golden fast-path
+	// tests prove the aggregate bypass bit-identical to the ordered sink
+	// path.
+	disablePartials bool
 }
 
 // RunMetrics are the per-run scalars the campaigns of the paper report.

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 
 	"repro/internal/cache"
@@ -36,11 +35,14 @@ type ExecConfig struct {
 	Sinks []Sink
 }
 
-// cachedCampaign is the persistent result format: the spec hash it was
-// produced under plus every run's metrics in (point, replication) order.
-// That is sufficient to reconstruct aggregates bit-identically and to
-// replay the event stream; full RunResults (per-worker slices) are
-// deliberately not persisted.
+// cachedCampaign is the legacy (version 1) persistent result format: the
+// spec hash the entry was produced under plus every run's metrics in
+// (point, replication) order. That is sufficient to reconstruct
+// aggregates bit-identically and to replay the event stream; full
+// RunResults (per-worker slices) are deliberately not persisted. New
+// entries are written in the version-2 binary format (cachecodec.go),
+// which additionally carries a pre-aggregated snapshot; version-1 JSON
+// entries remain readable.
 type cachedCampaign struct {
 	Version      int            `json:"version"`
 	Hash         string         `json:"hash"`
@@ -48,8 +50,6 @@ type cachedCampaign struct {
 	Replications int            `json:"replications"`
 	PerRun       [][]RunMetrics `json:"per_run"` // [point][rep]
 }
-
-const cacheFormatVersion = 1
 
 // Execute runs the campaign described by the spec, streaming per-run
 // events to cfg.Sinks and returning the per-point aggregates. With a
@@ -86,11 +86,20 @@ func (s CampaignSpec) Execute(ctx context.Context, cfg ExecConfig) (*CampaignRes
 		if data, ok, err := cfg.Cache.Get(ctx, key); err != nil {
 			return nil, closeSinks(err)
 		} else if ok {
-			if cc, ok := decodeCached(data, key, len(points), s.Replications); ok {
-				return s.replay(ctx, points, cc, cfg)
+			if ent, ok := decodeCacheEntry(data, key, len(points), s.Replications); ok {
+				// Aggregate-only request against an entry carrying a
+				// snapshot: serve the stored aggregates directly — the
+				// per-run records are never touched, let alone decoded.
+				if ent.snap != nil && len(cfg.Sinks) == 0 && !cfg.KeepPerRun {
+					if err := ctx.Err(); err != nil {
+						return nil, fmt.Errorf("engine: campaign: %w", err)
+					}
+					return ent.snap.result(points), nil
+				}
+				return s.replay(ctx, points, ent.perRunMetrics(), cfg)
 			}
-			// Undecodable or mismatched entry: fall through to a live
-			// run, which overwrites it.
+			// Undecodable, corrupt or mismatched entry: fall through to
+			// a live run, which overwrites it.
 		}
 	}
 
@@ -111,38 +120,15 @@ func (s CampaignSpec) Execute(ctx context.Context, cfg ExecConfig) (*CampaignRes
 	if err := c.Stream(ctx, append([]Sink{agg}, cfg.Sinks...)...); err != nil {
 		return nil, err
 	}
+	res := &CampaignResult{Aggregates: agg.Aggregates(), Overall: agg.Overall()}
 	if cfg.Cache != nil {
-		if data, err := json.Marshal(cachedCampaign{
-			Version:      cacheFormatVersion,
-			Hash:         key,
-			Points:       len(points),
-			Replications: s.Replications,
-			PerRun:       agg.perRun,
-		}); err == nil {
-			_ = cfg.Cache.Put(ctx, key, data) // best effort
-		}
+		// Version-2 binary entry: per-run records plus the snapshot of
+		// the final aggregates, so a future aggregate-only hit replays
+		// without decoding a single run. Best effort: a failed Put never
+		// fails the campaign.
+		_ = cfg.Cache.Put(ctx, key, encodeCacheEntry(key, agg.perRun, res))
 	}
-	return &CampaignResult{Aggregates: agg.Aggregates(), Overall: agg.Overall()}, nil
-}
-
-// decodeCached decodes and checks a cache entry against the spec it is
-// supposed to answer. A mismatch (format drift, truncation, stale hash)
-// reports ok == false, demoting the hit to a miss.
-func decodeCached(data []byte, key string, points, reps int) (cachedCampaign, bool) {
-	var cc cachedCampaign
-	if err := json.Unmarshal(data, &cc); err != nil {
-		return cachedCampaign{}, false
-	}
-	if cc.Version != cacheFormatVersion || cc.Hash != key ||
-		cc.Points != points || cc.Replications != reps || len(cc.PerRun) != points {
-		return cachedCampaign{}, false
-	}
-	for _, runs := range cc.PerRun {
-		if len(runs) != reps {
-			return cachedCampaign{}, false
-		}
-	}
-	return cc, true
+	return res, nil
 }
 
 // replay reconstructs the campaign result from a validated cache entry,
@@ -150,7 +136,7 @@ func decodeCached(data []byte, key string, points, reps int) (cachedCampaign, bo
 // aggregation in the same (point, replication) order a live execution
 // would — zero backend runs. A sink error or context cancellation
 // aborts the replay and is returned, mirroring Stream.
-func (s CampaignSpec) replay(ctx context.Context, points []RunSpec, cc cachedCampaign, cfg ExecConfig) (*CampaignResult, error) {
+func (s CampaignSpec) replay(ctx context.Context, points []RunSpec, perRun [][]RunMetrics, cfg ExecConfig) (*CampaignResult, error) {
 	seedFor := s.seedFunc(points)
 	agg := newAggregateSink(points, s.Replications, cfg.KeepPerRun, false)
 	sinks := append([]Sink{agg}, cfg.Sinks...)
@@ -164,7 +150,7 @@ feed:
 			}
 			spec := points[pi]
 			spec.RNGState = seedFor(pi, rep)
-			ev := Event{Point: pi, Rep: rep, Spec: spec, Metrics: cc.PerRun[pi][rep]}
+			ev := Event{Point: pi, Rep: rep, Spec: spec, Metrics: perRun[pi][rep]}
 			for _, sk := range sinks {
 				if err := sk.Consume(ctx, ev); err != nil {
 					sinkErr = fmt.Errorf("engine: sink: %w", err)

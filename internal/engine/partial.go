@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/metrics"
+)
+
+// MetricsPartial is one replication chunk's worth of folded run output —
+// the payload of the pipeline's aggregate fast path. Instead of building
+// one Event (with its full RunSpec) per run and pushing it through the
+// reorder ring, a worker executing chunk [RepLo, RepLo+len(Runs)) of a
+// point folds every completed run into this struct: the compact per-run
+// scalars are appended to Runs in replication order and the chunk-local
+// Welford partials (metrics.Accumulator) accumulate alongside. The
+// reorder stage then delivers partials to sinks in deterministic
+// (point, chunk) order, exactly like events — but one ConsumePartial
+// call covers a whole chunk, and no per-run Event ever crosses a
+// channel.
+//
+// Runs aliases a pooled buffer owned by the pipeline: it is valid only
+// for the duration of the ConsumePartial call, and sinks retaining the
+// per-run scalars must copy them out (an append into the sink's own
+// storage does exactly that).
+type MetricsPartial struct {
+	Point int // index into the campaign's points
+	RepLo int // first replication index covered by this chunk
+
+	// Runs holds the per-run scalars of replications
+	// [RepLo, RepLo+len(Runs)) in replication order.
+	Runs []RunMetrics
+
+	// Wasted, Makespan and Speedup are chunk-local Welford partials over
+	// the corresponding Runs fields, folded worker-side (in parallel,
+	// off the delivery path). Merging them across chunks in delivery
+	// order via metrics.Accumulator.Merge yields deterministic streaming
+	// statistics without touching the per-run records; note that merged
+	// moments are numerically equivalent but not bit-identical to a
+	// sequential pass (Count, Min and Max are bit-exact either way).
+	Wasted   metrics.Accumulator
+	Makespan metrics.Accumulator
+	Speedup  metrics.Accumulator
+
+	// Ops is the summed SchedOps over Runs.
+	Ops int64
+}
+
+// Len returns the number of runs covered by the partial.
+func (p MetricsPartial) Len() int { return len(p.Runs) }
+
+// add folds one completed run into the partial.
+func (p *MetricsPartial) add(m RunMetrics) {
+	p.Runs = append(p.Runs, m)
+	p.Wasted.Add(m.Wasted)
+	p.Makespan.Add(m.Makespan)
+	p.Speedup.Add(m.Speedup)
+	p.Ops += m.SchedOps
+}
+
+// PartialSink is the optional Sink extension behind the pipeline's
+// aggregate fast path. A sink implementing it declares that it does not
+// need per-run Events — chunk-granular partials delivered in
+// deterministic (point, replication) order carry everything it consumes.
+// When every sink attached to a campaign is a PartialSink (and the
+// campaign does not retain full results), the pipeline bypasses per-run
+// event construction entirely: workers fold chunk-local partials and
+// the merge stage calls ConsumePartial once per chunk instead of
+// Consume once per run. Aggregates produced either way are
+// bit-identical; one order-sensitive sink in the set (CSV, JSONL)
+// disables the bypass for the whole campaign, and every sink then
+// receives ordinary per-run events.
+//
+// Like Consume, ConsumePartial is invoked from a single goroutine in
+// deterministic order, needs no locking, and a returned error aborts
+// the campaign. Close semantics are unchanged.
+type PartialSink interface {
+	Sink
+	ConsumePartial(ctx context.Context, p MetricsPartial) error
+}
+
+// partialSinks returns the sinks as PartialSinks when every one of them
+// supports the fast path, and nil otherwise (one ordered sink disables
+// the bypass for the whole campaign).
+func partialSinks(sinks []Sink) []PartialSink {
+	out := make([]PartialSink, len(sinks))
+	for i, s := range sinks {
+		ps, ok := s.(PartialSink)
+		if !ok {
+			return nil
+		}
+		out[i] = ps
+	}
+	return out
+}

@@ -49,8 +49,13 @@ type Sink interface {
 // (chunks) in arbitrary completion order, a reorder stage restores
 // deterministic (point, replication) order at chunk granularity, and
 // sinks observe the exact event sequence a serial execution would
-// produce. All sinks are closed before Stream returns; the first run or
-// sink error aborts the remaining grid and is returned.
+// produce. When every sink is a PartialSink (and KeepRuns is off), the
+// partial-merge fast path replaces per-run event delivery: workers
+// fold each chunk into a MetricsPartial and the reorder stage merges
+// the partials in the same deterministic chunk order via
+// ConsumePartial — same values, same order, no per-run Event ever
+// crossing a channel. All sinks are closed before Stream returns; the
+// first run or sink error aborts the remaining grid and is returned.
 //
 // Cancelling ctx aborts the campaign: no further backend runs are
 // scheduled once cancellation is observed, the worker pool drains
@@ -133,6 +138,28 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 	if c.disableRunners {
 		rb = nil
 	}
+	// The aggregate fast path: when every sink accepts chunk-granular
+	// partials and no full results are retained, workers fold each chunk
+	// into a MetricsPartial (compact per-run scalars plus chunk-local
+	// Welford accumulators) and the merge stage delivers one partial per
+	// chunk in deterministic order — no per-run Event is ever built or
+	// crosses a channel. One order-sensitive sink disables the bypass
+	// for the whole campaign. Aggregates are bit-identical either way.
+	var psinks []PartialSink
+	if !c.KeepRuns && !c.disablePartials {
+		psinks = partialSinks(sinks)
+	}
+	fast := psinks != nil
+	// runPool recycles the per-chunk scalar buffers of the fast path:
+	// the merge stage returns each buffer after dispatching its partial,
+	// so the steady state allocates nothing per chunk.
+	var runPool sync.Pool
+	if fast {
+		runPool.New = func() any {
+			b := make([]RunMetrics, 0, chunkSize)
+			return &b
+		}
+	}
 
 	var (
 		next     atomic.Int64
@@ -189,11 +216,14 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 		}
 	}()
 
-	// chunkDone carries one completed (possibly partial, on abort) chunk
-	// from a worker to the reorder stage.
+	// chunkDone carries one completed (possibly incomplete, on abort)
+	// chunk from a worker to the reorder stage: per-run events on the
+	// ordered path, one folded MetricsPartial on the fast path.
 	type chunkDone struct {
-		idx    int64 // global chunk index
-		events []Event
+		idx     int64 // global chunk index
+		events  []Event
+		partial MetricsPartial
+		buf     *[]RunMetrics // pooled backing buffer of partial.Runs
 	}
 	chunks := make(chan chunkDone, workers)
 	for w := 0; w < workers; w++ {
@@ -241,7 +271,17 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 					}
 					runnerPt = pi
 				}
-				batch := make([]Event, 0, repHi-repLo)
+				var (
+					batch []Event
+					part  MetricsPartial
+					buf   *[]RunMetrics
+				)
+				if fast {
+					buf = runPool.Get().(*[]RunMetrics)
+					part = MetricsPartial{Point: pi, RepLo: repLo, Runs: (*buf)[:0]}
+				} else {
+					batch = make([]Event, 0, repHi-repLo)
+				}
 				aborted := false
 				for rep := repLo; rep < repHi; rep++ {
 					if failed.Load() {
@@ -262,6 +302,13 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 						aborted = true
 						break
 					}
+					if fast {
+						// Fold the run into the chunk-local partial: a
+						// 32-byte scalar append plus three Welford Adds —
+						// no Event, no Spec copy, no per-run dispatch.
+						part.add(pointMetrics(spec, res))
+						continue
+					}
 					ev := Event{Point: pi, Rep: rep, Spec: spec, Metrics: pointMetrics(spec, res)}
 					if c.KeepRuns {
 						if rb != nil {
@@ -273,11 +320,16 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 					}
 					batch = append(batch, ev)
 				}
-				// A partial chunk is only produced after fail(), whose
+				// An incomplete chunk is only produced after fail(), whose
 				// atomic store happens before this send — the reorder
 				// stage observes failed and never dispatches it, so the
 				// delivered stream stays a contiguous prefix.
-				chunks <- chunkDone{idx: k, events: batch}
+				if fast {
+					*buf = part.Runs // retain the grown backing array for reuse
+					chunks <- chunkDone{idx: k, partial: part, buf: buf}
+				} else {
+					chunks <- chunkDone{idx: k, events: batch}
+				}
 				if aborted {
 					return
 				}
@@ -289,21 +341,23 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 		close(chunks)
 	}()
 
-	// Reorder completed chunks into global order and dispatch. Events
+	// Reorder completed chunks into global order and dispatch. Runs
 	// within a chunk are already in replication order, so ordering the
 	// chunks orders the whole stream. The worker-side window bounds
 	// in-flight chunk indices to [nextOut, nextOut+window), so slot
 	// k%window is collision-free. nextOutLocal is the reorder stage's
 	// private cursor, published to nextOut (with one broadcast) once per
-	// received chunk that advances it.
+	// received chunk that advances it. On the fast path this stage is
+	// the partial-merge stage: one ConsumePartial per chunk instead of
+	// one Consume per run, with the scalar buffer recycled afterwards.
 	var (
-		ring         = make([][]Event, window)
+		ring         = make([]chunkDone, window)
 		present      = make([]bool, window)
 		nextOutLocal int64
 	)
 	for cd := range chunks {
 		slot := cd.idx % window
-		ring[slot] = cd.events
+		ring[slot] = cd
 		present[slot] = true
 		advanced := false
 		for {
@@ -311,19 +365,33 @@ func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
 			if !present[slot] {
 				break
 			}
-			evs := ring[slot]
-			ring[slot] = nil
+			out := ring[slot]
+			ring[slot] = chunkDone{}
 			present[slot] = false
 			nextOutLocal++
 			advanced = true
+			if fast {
+				if !failed.Load() {
+					for _, ps := range psinks {
+						if err := ps.ConsumePartial(ctx, out.partial); err != nil {
+							fail(fmt.Errorf("engine: sink: %w", err))
+							break
+						}
+					}
+				}
+				*out.buf = out.partial.Runs[:0]
+				runPool.Put(out.buf)
+				continue
+			}
+			evs := out.events
 			for i := range evs {
 				if failed.Load() {
 					break // drain without dispatching after an abort
 				}
-				out := evs[i]
+				ev := evs[i]
 				evs[i] = Event{} // drop the Result reference
 				for _, s := range sinks {
-					if err := s.Consume(ctx, out); err != nil {
+					if err := s.Consume(ctx, ev); err != nil {
 						fail(fmt.Errorf("engine: sink: %w", err))
 						break
 					}
@@ -391,6 +459,15 @@ type aggregateSink struct {
 	ops     []int64
 	perRun  [][]RunMetrics
 	results [][]*RunResult
+
+	// streamed are the per-point merges of the fast path's chunk-local
+	// Welford partials, combined in delivery (chunk) order via
+	// Accumulator.Merge. They are the partial-merge stage's consistency
+	// guard: Close cross-checks their counts against the buffered
+	// scalars, so a partial that skipped or double-counted a run fails
+	// loudly instead of silently skewing aggregates. Allocated lazily on
+	// the first ConsumePartial.
+	streamed []metrics.Accumulator
 }
 
 func newAggregateSink(points []RunSpec, reps int, keepPerRun, keepResults bool) *aggregateSink {
@@ -437,10 +514,46 @@ func (s *aggregateSink) Consume(_ context.Context, ev Event) error {
 	return nil
 }
 
+// ConsumePartial implements PartialSink: one call folds a whole chunk.
+// The buffered per-run scalars and the sequential wasted-time
+// accumulator are fed in exactly the order the per-event path would
+// feed them, so every downstream statistic — including the two-pass
+// standard deviation, the median and the Overall roll-up — is
+// bit-identical to the ordered sink path. The chunk's pre-folded
+// Welford partials are merged in delivery order as the partial-merge
+// stage's integrity cross-check.
+func (s *aggregateSink) ConsumePartial(_ context.Context, p MetricsPartial) error {
+	pi := p.Point
+	if pi < 0 || pi >= len(s.points) {
+		return fmt.Errorf("engine: aggregate sink: point %d out of range", pi)
+	}
+	if p.RepLo != len(s.perRun[pi]) {
+		return fmt.Errorf("engine: aggregate sink: point %d got chunk at replication %d, want %d (partials out of order)",
+			pi, p.RepLo, len(s.perRun[pi]))
+	}
+	if s.streamed == nil {
+		s.streamed = make([]metrics.Accumulator, len(s.points))
+	}
+	s.perRun[pi] = append(s.perRun[pi], p.Runs...)
+	for i := range p.Runs {
+		// Sequential feed keeps the Overall roll-up bit-identical to the
+		// ordered path (merging chunk partials would reassociate the
+		// floating-point sums).
+		s.wasted[pi].Add(p.Runs[i].Wasted)
+	}
+	s.ops[pi] += p.Ops
+	s.streamed[pi].Merge(p.Wasted)
+	return nil
+}
+
 func (s *aggregateSink) Close() error {
 	for pi := range s.points {
 		if got := len(s.perRun[pi]); got != s.reps {
 			return fmt.Errorf("engine: aggregate sink: point %d saw %d of %d replications", pi, got, s.reps)
+		}
+		if s.streamed != nil && s.streamed[pi].Count != int64(s.reps) {
+			return fmt.Errorf("engine: aggregate sink: point %d merged partials cover %d of %d replications",
+				pi, s.streamed[pi].Count, s.reps)
 		}
 	}
 	return nil

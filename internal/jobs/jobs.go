@@ -159,13 +159,22 @@ func (j *Job) Snapshot() Snapshot {
 }
 
 // progressSink feeds the job's completion counter from the campaign's
-// ordered event stream — O(1) state, no buffering.
+// ordered event stream — O(1) state, no buffering. It also accepts
+// chunk-granular partials, so attaching it never disqualifies a job
+// from the engine's aggregate fast path (one counter bump per chunk
+// instead of per run).
 type progressSink struct{ j *Job }
 
 func (s progressSink) Consume(context.Context, engine.Event) error {
 	s.j.completed.Add(1)
 	return nil
 }
+
+func (s progressSink) ConsumePartial(_ context.Context, p engine.MetricsPartial) error {
+	s.j.completed.Add(int64(p.Len()))
+	return nil
+}
+
 func (s progressSink) Close() error { return nil }
 
 // Manager owns the job table, the dedup index and the bounded queue.
