@@ -1,0 +1,626 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/campaign"
+)
+
+// Options tune the coordinator's sharding and fault handling. Every
+// knob is scheduling-only: results are bit-identical for any
+// combination of values, including the node count itself.
+type Options struct {
+	// Shards is the target number of contiguous segments the
+	// (point × replication) grid is cut into. Each segment decomposes
+	// into one sub-spec per grid point it touches, and each sub-spec is
+	// one remote job. 0 means one shard per node; counts beyond the
+	// grid's total run count are clamped.
+	Shards int
+	// MaxPerNode bounds the shards concurrently in flight against one
+	// node — the fan-out's backpressure. 0 means 4.
+	MaxPerNode int
+	// ShardTimeout is the per-attempt deadline for one shard (submit
+	// through completion). A shard stuck on a straggler past the
+	// deadline is cancelled on that node and reassigned to the next.
+	// 0 means no deadline.
+	ShardTimeout time.Duration
+	// Attempts is the total number of placement attempts per shard,
+	// rotating through the fleet, so a shard survives Attempts-1 node
+	// failures. 0 means 3; 1 disables retries.
+	Attempts int
+	// Backoff is the delay before a shard's first retry; it doubles per
+	// subsequent retry up to MaxBackoff. Zero values mean 100ms and 5s.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Jitter is the fraction of each backoff randomized away, in
+	// [0, 1]: the actual sleep is uniform in [(1-Jitter)·d, d]. 0
+	// keeps the backoff deterministic.
+	Jitter float64
+}
+
+func (o Options) withDefaults(nodes int) Options {
+	if o.Shards <= 0 {
+		o.Shards = nodes
+	}
+	if o.MaxPerNode <= 0 {
+		o.MaxPerNode = 4
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	return o
+}
+
+// Coordinator fans one campaign out across a fleet of runners — dlsimd
+// nodes reached through client.Client, in-process LocalRunners, or a
+// mix — and merges the result streams bit-identically to a single-node
+// run. It implements campaign.Runner (so a coordinator composes
+// anywhere a node does) and campaign.Executor (the synchronous
+// fan-out + merge fast path campaign.Execute prefers).
+type Coordinator struct {
+	nodes []campaign.Runner
+	opts  Options
+	sems  []chan struct{} // per-node in-flight shard bound
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	byHash map[string]*job // non-terminal jobs, for submit dedup
+	nextID int
+}
+
+var (
+	_ campaign.Runner   = (*Coordinator)(nil)
+	_ campaign.Executor = (*Coordinator)(nil)
+)
+
+// New returns a coordinator over the given fleet. The node list is
+// scheduling-only: any fleet produces bit-identical results for a
+// given spec and shard count, and the shard count itself only moves
+// the cut points, never the bytes.
+func New(nodes []campaign.Runner, opts Options) (*Coordinator, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("distrib: no nodes")
+	}
+	c := &Coordinator{
+		nodes:  nodes,
+		opts:   opts.withDefaults(len(nodes)),
+		jobs:   make(map[string]*job),
+		byHash: make(map[string]*job),
+	}
+	c.sems = make([]chan struct{}, len(nodes))
+	for i := range c.sems {
+		c.sems[i] = make(chan struct{}, c.opts.MaxPerNode)
+	}
+	return c, nil
+}
+
+// piece is one remote job of a sharded campaign: a single grid point's
+// replication window, carved out of the parent spec. Pieces are
+// indexed in the parent's deterministic stream order (point-major,
+// then replication), which is exactly the order the merge stage
+// forwards them in.
+type piece struct {
+	index  int // merge order
+	point  int // parent grid point index
+	repOff int // window start within the point
+	reps   int // window length
+	spec   campaign.Spec
+}
+
+// plan cuts the spec's global run sequence (GridPoints × Replications
+// runs, in stream order) into `shards` contiguous segments of
+// near-equal size and decomposes each segment into per-point pieces.
+// The segment boundaries depend only on (grid, replications, shards),
+// so equal inputs always yield the identical plan.
+func plan(spec campaign.Spec, shards int) ([]piece, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.RepOffset != 0 {
+		// Nothing fundamental forbids re-sharding a shard, but a
+		// coordinator is fed whole campaigns; a pre-offset spec here is
+		// almost certainly a plumbing mistake.
+		return nil, fmt.Errorf("distrib: spec has rep offset %d; submit the parent spec", spec.RepOffset)
+	}
+	points, r := spec.GridPoints(), spec.Replications
+	total := points * r
+	if shards > total {
+		shards = total
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	pieces := make([]piece, 0, shards+points)
+	base, rem := total/shards, total%shards
+	start := 0
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		for a, end := start, start+size; a < end; {
+			pt, off := a/r, a%r
+			take := r - off
+			if take > end-a {
+				take = end - a
+			}
+			sub, err := spec.SubSpec(pt, off, take)
+			if err != nil {
+				return nil, err
+			}
+			pieces = append(pieces, piece{index: len(pieces), point: pt, repOff: off, reps: take, spec: sub})
+			a += take
+		}
+		start += size
+	}
+	return pieces, nil
+}
+
+// placement records where a dispatched piece ran.
+type placement struct {
+	node int
+	id   string
+}
+
+// acquire takes one in-flight slot on node ni.
+func (c *Coordinator) acquire(ctx context.Context, ni int) error {
+	select {
+	case c.sems[ni] <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Coordinator) backoff(retry int) time.Duration {
+	d := c.opts.Backoff
+	for i := 0; i < retry && d < c.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	if j := c.opts.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		d = time.Duration(float64(d) * (1 - j*rand.Float64()))
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// dispatch places one piece on the fleet: submit + wait to completion
+// on a node, retrying with exponential backoff across the remaining
+// nodes on transient failure or a blown ShardTimeout. startNode seeds
+// the rotation so the initial wave spreads round-robin.
+func (c *Coordinator) dispatch(ctx context.Context, p piece, startNode int) (placement, error) {
+	var last error
+	for a := 0; a < c.opts.Attempts; a++ {
+		if a > 0 {
+			if err := sleepCtx(ctx, c.backoff(a-1)); err != nil {
+				break
+			}
+		}
+		ni := ((startNode+a)%len(c.nodes) + len(c.nodes)) % len(c.nodes)
+		if err := c.acquire(ctx, ni); err != nil {
+			break
+		}
+		pl, err := c.attempt(ctx, ni, p)
+		<-c.sems[ni]
+		if err == nil {
+			return pl, nil
+		}
+		last = fmt.Errorf("distrib: shard %d (point %d, reps [%d,%d)) on node %d: %w",
+			p.index, p.point, p.repOff, p.repOff+p.reps, ni, err)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if last == nil {
+		last = fmt.Errorf("distrib: shard %d: %w", p.index, ctx.Err())
+	}
+	return placement{}, last
+}
+
+// attempt runs one piece on one node under the per-shard deadline. A
+// failed or expired wait reaps the remote job (best effort, bounded,
+// and only when this coordinator owns it — a deduped submission joined
+// a job someone else is also watching), so a straggler shard never
+// keeps burning a node after reassignment.
+func (c *Coordinator) attempt(ctx context.Context, ni int, p piece) (placement, error) {
+	actx := ctx
+	if c.opts.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.opts.ShardTimeout)
+		defer cancel()
+	}
+	node := c.nodes[ni]
+	jb, err := node.Submit(actx, p.spec)
+	if err != nil {
+		if actx.Err() != nil {
+			// The attempt died mid-submit: the response is lost, but the
+			// server may have created the job anyway. Re-submitting with a
+			// bounded, non-cancelled context joins any such orphan through
+			// the hash dedup and yields an ID to cancel; if no orphan
+			// exists, the probe job is cancelled before it runs.
+			c.reap(ctx, node, p.spec)
+		}
+		return placement{}, err
+	}
+	snap, err := node.Wait(actx, jb.ID)
+	if err != nil {
+		if !jb.Deduped {
+			cctx, ccancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			_ = node.Cancel(cctx, jb.ID)
+			ccancel()
+		}
+		return placement{}, err
+	}
+	if snap.State != campaign.StateDone {
+		return placement{}, fmt.Errorf("job %s ended %s: %s", jb.ID, snap.State, snap.Error)
+	}
+	return placement{node: ni, id: jb.ID}, nil
+}
+
+// reap cancels a possibly orphaned shard job on a node, addressing it
+// by spec hash via submit dedup. Best effort and bounded; used only
+// when an aborted submission may have left a job behind.
+func (c *Coordinator) reap(ctx context.Context, node campaign.Runner, spec campaign.Spec) {
+	rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+	defer cancel()
+	jb, err := node.Submit(rctx, spec)
+	if err != nil {
+		return
+	}
+	_ = node.Cancel(rctx, jb.ID)
+}
+
+// remapSink rewrites one piece's shard-local event coordinates
+// (point 0, rep r) back to the parent grid's (point, repOff+r) and
+// forwards to the merge sinks. Close is a no-op: the runner's Stream
+// closes its sinks per call, but the merge sinks span every piece and
+// are closed once by the coordinator. next makes re-streaming after a
+// mid-stream node failure idempotent: rows a broken stream already
+// delivered are skipped, so the sinks observe every row exactly once.
+type remapSink struct {
+	point, repOff int
+	next          int // shard-local rep of the next undelivered row
+	sinks         []campaign.Sink
+}
+
+func (r *remapSink) Consume(ctx context.Context, ev campaign.Event) error {
+	if ev.Rep < r.next {
+		return nil
+	}
+	local := ev.Rep
+	ev.Point = r.point
+	ev.Rep += r.repOff
+	for _, s := range r.sinks {
+		if err := s.Consume(ctx, ev); err != nil {
+			return err
+		}
+	}
+	r.next = local + 1
+	return nil
+}
+
+func (r *remapSink) Close() error { return nil }
+
+// streamPiece delivers one completed piece's events, remapped to
+// parent coordinates, to the merge sinks. If the stream breaks and the
+// caller's context is still alive — the node died after finishing the
+// shard — the piece is re-dispatched on the rest of the fleet and the
+// remainder streamed from there; with a shared content-addressed store
+// the re-execution is a cache replay costing zero backend runs.
+func (c *Coordinator) streamPiece(ctx context.Context, p piece, pl placement, sinks []campaign.Sink) error {
+	rs := &remapSink{point: p.point, repOff: p.repOff, sinks: sinks}
+	err := c.nodes[pl.node].Stream(ctx, pl.id, rs)
+	if err == nil || ctx.Err() != nil {
+		return err
+	}
+	pl2, err2 := c.dispatch(ctx, p, pl.node+1)
+	if err2 != nil {
+		return fmt.Errorf("distrib: re-fetch shard %d after stream failure (%v): %w", p.index, err, err2)
+	}
+	return c.nodes[pl2.node].Stream(ctx, pl2.id, rs)
+}
+
+// run fans the spec out and merges the shard streams into sinks (which
+// it does not close) in the parent's deterministic order. progress, if
+// non-nil, observes completed run counts as shards finish.
+func (c *Coordinator) run(ctx context.Context, spec campaign.Spec, sinks []campaign.Sink, progress func(int64)) error {
+	pieces, err := plan(spec, c.opts.Shards)
+	if err != nil {
+		return err
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	defer wg.Wait() // leak-free: runs after cancel, so dispatchers drain
+	defer cancel()
+	pls := make([]placement, len(pieces))
+	errs := make([]error, len(pieces))
+	done := make([]chan struct{}, len(pieces))
+	for i := range pieces {
+		done[i] = make(chan struct{})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(done[i])
+			pls[i], errs[i] = c.dispatch(fctx, pieces[i], pieces[i].index)
+			if errs[i] == nil && progress != nil {
+				progress(int64(pieces[i].reps))
+			}
+		}(i)
+	}
+	// Merge in plan order: piece i streams as soon as it and every
+	// earlier piece have completed, while later pieces keep executing —
+	// the merge is a rolling frontier, not a barrier.
+	for i := range pieces {
+		select {
+		case <-done[i]:
+		case <-fctx.Done():
+			return fctx.Err()
+		}
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if err := c.streamPiece(fctx, pieces[i], pls[i], sinks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Execute implements campaign.Executor: synchronous fan-out + ordered
+// merge. The aggregation reuses engine.Aggregator over the parent
+// spec, so the returned Result is the same fold, over the same metrics,
+// in the same order as a local execution — bit-identical aggregates.
+func (c *Coordinator) Execute(ctx context.Context, spec campaign.Spec, opts campaign.ExecOptions) (*campaign.Result, error) {
+	agg, err := spec.NewAggregator(opts.KeepPerRun)
+	if err != nil {
+		return nil, campaign.CloseSinks(err, opts.Sinks...)
+	}
+	sinks := append([]campaign.Sink{agg}, opts.Sinks...)
+	if err := campaign.CloseSinks(c.run(ctx, spec, sinks, nil), sinks...); err != nil {
+		return nil, err
+	}
+	return agg.Result(), nil
+}
+
+// job is one asynchronously submitted campaign's coordinator-side
+// state.
+type job struct {
+	spec   campaign.Spec
+	pieces []piece
+	pls    []placement // placements, valid where the piece succeeded
+
+	completed atomic.Int64
+
+	cancel context.CancelFunc
+	done   chan struct{} // closed on terminal state
+
+	mu          sync.Mutex
+	state       campaign.State
+	err         error
+	submissions int
+}
+
+func (j *job) snapshot(id, hash string) campaign.Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := campaign.Snapshot{
+		ID:          id,
+		Hash:        hash,
+		State:       j.state,
+		Total:       int64(j.spec.GridPoints() * j.spec.Replications),
+		Completed:   j.completed.Load(),
+		Submissions: j.submissions,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// Submit implements campaign.Runner: it plans the shards and launches
+// the fan-out in the background. Submissions deduplicate on the spec
+// hash exactly like a node's queue: a spec matching a live job joins
+// it.
+func (c *Coordinator) Submit(ctx context.Context, spec campaign.Spec) (campaign.Job, error) {
+	pieces, err := plan(spec, c.opts.Shards)
+	if err != nil {
+		return campaign.Job{}, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return campaign.Job{}, err
+	}
+	c.mu.Lock()
+	if j, ok := c.byHash[hash]; ok {
+		j.mu.Lock()
+		j.submissions++
+		j.mu.Unlock()
+		var id string
+		for jid, cand := range c.jobs {
+			if cand == j {
+				id = jid
+				break
+			}
+		}
+		c.mu.Unlock()
+		return campaign.Job{ID: id, Hash: hash, Deduped: true}, nil
+	}
+	c.nextID++
+	id := "d" + strconv.Itoa(c.nextID)
+	jctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		spec:        spec,
+		pieces:      pieces,
+		pls:         make([]placement, len(pieces)),
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		state:       campaign.StateRunning,
+		submissions: 1,
+	}
+	c.jobs[id] = j
+	c.byHash[hash] = j
+	c.mu.Unlock()
+	go c.runJob(jctx, j, hash)
+	return campaign.Job{ID: id, Hash: hash}, nil
+}
+
+// runJob executes a submitted job's fan-out: every piece is dispatched
+// (with the usual retry/reassignment), but nothing is streamed — the
+// results stay on the nodes, content-addressed, until a Stream call
+// merges them on demand.
+func (c *Coordinator) runJob(jctx context.Context, j *job, hash string) {
+	var wg sync.WaitGroup
+	var failed atomic.Pointer[error]
+	for i := range j.pieces {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pl, err := c.dispatch(jctx, j.pieces[i], j.pieces[i].index)
+			if err != nil {
+				failed.CompareAndSwap(nil, &err)
+				j.cancel()
+				return
+			}
+			j.pls[i] = pl
+			j.completed.Add(int64(j.pieces[i].reps))
+		}(i)
+	}
+	wg.Wait()
+	j.mu.Lock()
+	switch {
+	case jctx.Err() != nil && failed.Load() == nil:
+		j.state = campaign.StateCancelled
+		j.err = fmt.Errorf("distrib: cancelled")
+	case failed.Load() != nil:
+		j.state = campaign.StateFailed
+		j.err = *failed.Load()
+	default:
+		j.state = campaign.StateDone
+	}
+	j.mu.Unlock()
+	c.mu.Lock()
+	if c.byHash[hash] == j {
+		delete(c.byHash, hash)
+	}
+	c.mu.Unlock()
+	j.cancel() // release the context either way
+	close(j.done)
+}
+
+func (c *Coordinator) get(id string) (*job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("distrib: job %q: %w", id, campaign.ErrNotFound)
+	}
+	return j, nil
+}
+
+// Wait implements campaign.Runner.
+func (c *Coordinator) Wait(ctx context.Context, id string) (campaign.Snapshot, error) {
+	j, err := c.get(id)
+	if err != nil {
+		return campaign.Snapshot{}, err
+	}
+	hash, _ := j.spec.Hash()
+	select {
+	case <-j.done:
+		return j.snapshot(id, hash), nil
+	case <-ctx.Done():
+		return campaign.Snapshot{}, ctx.Err()
+	}
+}
+
+// Stream implements campaign.Runner: it waits for the fan-out to
+// complete, then merges the shard result streams from the nodes in the
+// parent's deterministic order. The nodes serve the streams from their
+// content-addressed results, so streaming (even repeatedly, by several
+// consumers) costs zero backend runs.
+func (c *Coordinator) Stream(ctx context.Context, id string, sinks ...campaign.Sink) error {
+	return campaign.CloseSinks(c.stream(ctx, id, sinks), sinks...)
+}
+
+func (c *Coordinator) stream(ctx context.Context, id string, sinks []campaign.Sink) error {
+	j, err := c.get(id)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	j.mu.Lock()
+	state, jerr := j.state, j.err
+	j.mu.Unlock()
+	if state != campaign.StateDone {
+		return fmt.Errorf("distrib: job %s is %s: %w", id, state, jerr)
+	}
+	for i := range j.pieces {
+		if err := c.streamPiece(ctx, j.pieces[i], j.pls[i], sinks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cancel implements campaign.Runner. Cancelling a running job aborts
+// every in-flight shard on the nodes (each dispatcher reaps its remote
+// job on the way out); a terminal job is left untouched.
+func (c *Coordinator) Cancel(ctx context.Context, id string) error {
+	j, err := c.get(id)
+	if err != nil {
+		return err
+	}
+	j.cancel()
+	return nil
+}
+
+// Describe implements campaign.Runner: the fleet's capabilities are
+// the first reachable node's, under the coordinator's own service
+// name.
+func (c *Coordinator) Describe(ctx context.Context) (campaign.Description, error) {
+	var last error
+	for _, node := range c.nodes {
+		d, err := node.Describe(ctx)
+		if err == nil {
+			d.Service = "distrib"
+			d.Execution = nil
+			return d, nil
+		}
+		last = err
+	}
+	return campaign.Description{}, fmt.Errorf("distrib: no node reachable: %w", last)
+}

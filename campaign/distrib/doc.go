@@ -1,0 +1,39 @@
+// Package distrib shards one campaign across a fleet of runners and
+// merges the results bit-identically to a single-node run.
+//
+// # Sharding model
+//
+// A campaign's runs form one global sequence: grid points in the
+// spec's deterministic expansion order (n-major, then p, then
+// technique), replications ascending within each point. The planner
+// cuts that sequence into Options.Shards contiguous, near-equal
+// segments and decomposes every segment into per-point pieces. Each
+// piece becomes an ordinary CampaignSpec via Spec.SubSpec — a
+// single-point spec whose RepOffset shifts seed derivation so its run
+// r draws exactly the rand48 state the parent assigns to
+// (point, repOff+r), under all four seed policies. A piece is
+// therefore a first-class campaign: hashable, cacheable, executable by
+// any node, with its sub-spec hash as content address.
+//
+// # Determinism
+//
+// The merge stage forwards piece streams in plan order, rewriting each
+// row's shard-local coordinates back to the parent grid. Because every
+// node computes bit-identical metrics for a given spec and the JSONL
+// encoding round-trips floats exactly, the merged stream is
+// byte-for-byte the stream a single node produces for the whole spec,
+// for any shard count and any fleet — and the aggregates, folded by
+// the same engine.Aggregator over the same stream, are bit-identical
+// too.
+//
+// # Fault handling
+//
+// Each shard attempt is bounded by Options.ShardTimeout and retried up
+// to Options.Attempts times with exponential backoff and optional
+// jitter, rotating through the fleet, so shards stranded on a dead or
+// straggling node are reassigned to survivors. A reassigned or
+// re-submitted shard whose sub-spec results already sit in a store
+// shared by the fleet (dlsimd -cache on a shared directory) replays
+// from the cache with zero backend runs — shard-level idempotency via
+// content addressing.
+package distrib

@@ -26,6 +26,11 @@
 //     context-aware cancellation plumbing.
 //   - client.Client (package repro/client) speaks the dlsimd daemon's
 //     /v1 HTTP API, so the same campaign runs on a remote service.
+//   - distrib.Coordinator (package repro/campaign/distrib) shards one
+//     campaign across a fleet of Runners — replication windows become
+//     ordinary sub-specs via Spec.RepOffset — and merges the streams
+//     bit-identically to a single-node run, retrying failed or
+//     straggling shards on surviving nodes.
 //
 // The Execute and Run helpers drive any Runner end-to-end and return
 // aggregated results; because aggregation is a deterministic fold over

@@ -28,7 +28,7 @@ func TestAPISurfaceSnapshot(t *testing.T) {
 			"First int64 json=first,omitempty; Last int64 json=last,omitempty; " +
 			"Alpha float64 json=alpha,omitempty; Weights []float64 json=weights,omitempty; " +
 			"Replications int json=replications; Seed uint64 json=seed; " +
-			"SeedPolicy string json=seed_policy,omitempty",
+			"SeedPolicy string json=seed_policy,omitempty; RepOffset int json=rep_offset,omitempty",
 		"Workload": "Kind string json=kind; P1 float64 json=p1,omitempty; P2 float64 json=p2,omitempty; " +
 			"P3 float64 json=p3,omitempty; N int64 json=n,omitempty",
 		"RunMetrics": "Wasted float64 json=wasted; Makespan float64 json=makespan; " +
@@ -41,6 +41,7 @@ func TestAPISurfaceSnapshot(t *testing.T) {
 		"Result": "Aggregates []engine.Aggregate; Overall metrics.Accumulator",
 		"Snapshot": "ID string json=id; Hash string json=hash; State jobs.State json=state; " +
 			"Total int64 json=total; Completed int64 json=completed; Submissions int json=submissions; " +
+			"RepOffset int json=rep_offset,omitempty; " +
 			"Error string json=error,omitempty; CreatedAt time.Time json=created_at; " +
 			"StartedAt *time.Time json=started_at,omitempty; FinishedAt *time.Time json=finished_at,omitempty",
 		"Job": "ID string json=id; Hash string json=hash; Deduped bool json=deduped",

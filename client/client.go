@@ -5,12 +5,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/campaign"
 )
@@ -19,12 +22,63 @@ import (
 // implements campaign.Runner — the remote counterpart of
 // campaign.LocalRunner.
 type Client struct {
-	base string // normalized base URL, no trailing slash
-	hc   *http.Client
-	ua   string
+	base     string // normalized base URL, no trailing slash
+	hc       *http.Client
+	ua       string
+	opts     Options
+	customHC bool // WithHTTPClient was given; don't tune the transport
 }
 
 var _ campaign.Runner = (*Client)(nil)
+
+// RetryPolicy configures transparent retries of transient failures.
+// Every request the client issues is idempotent — GETs and DELETEs
+// trivially, and Submit by construction: the service deduplicates
+// submissions on the spec's canonical hash, so a retried POST lands on
+// the same job. That is what makes blanket retry safe here.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries per request, including the
+	// first; 0 and 1 both mean no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// subsequent retry. 0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff. 0 means 2s.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay randomized away, in [0, 1]:
+	// the actual sleep is uniform in [(1-Jitter)·d, d]. Jitter keeps a
+	// fleet of coordinators from retrying in lockstep against a node
+	// that just came back.
+	Jitter float64
+}
+
+// DefaultRetry is a reasonable policy for coordinator-style callers:
+// up to 4 attempts, 50ms base delay doubling to a 2s cap, half-jittered.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.5}
+
+// Options bundles the client's reliability and connection tuning knobs.
+// The zero value preserves the historical behaviour: no per-request
+// timeout, no retries, default transport.
+type Options struct {
+	// Timeout bounds each unary request (Submit, Job, Jobs, Cancel,
+	// Describe, Techniques, Backends, Health) from dial to fully read
+	// body. It does NOT apply to Wait or to result streaming — those
+	// legitimately block for as long as a campaign runs; bound them per
+	// call through the context.
+	Timeout time.Duration
+	// Retry enables transparent retry of transient failures: transport
+	// errors (connection refused, reset, per-request timeout) and any
+	// 5xx response — which covers campaign.ErrQueueFull and
+	// campaign.ErrClosed, both mapped to HTTP 503 by the service.
+	// Non-5xx API errors (validation, not-found) never retry, and a
+	// cancelled caller context stops retrying immediately.
+	Retry RetryPolicy
+	// MaxIdleConnsPerHost tunes keep-alive connection reuse against a
+	// single node; useful when a coordinator multiplexes many in-flight
+	// shards over one client. 0 keeps the transport default (2).
+	// Ignored when WithHTTPClient supplies a custom client.
+	MaxIdleConnsPerHost int
+}
 
 // Option customizes a Client.
 type Option func(*Client)
@@ -33,10 +87,17 @@ type Option func(*Client)
 // to add timeouts, TLS configuration or instrumentation). The default
 // client has no timeout — Wait and Stream legitimately block for as
 // long as a campaign runs; bound them per call through the context.
-func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+// Overrides Options.MaxIdleConnsPerHost.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc; c.customHC = true }
+}
 
 // WithUserAgent sets the User-Agent header sent with every request.
 func WithUserAgent(ua string) Option { return func(c *Client) { c.ua = ua } }
+
+// WithOptions installs the client's timeout, retry and connection
+// tuning knobs.
+func WithOptions(o Options) Option { return func(c *Client) { c.opts = o } }
 
 // New returns a client for the service at baseURL (e.g.
 // "http://localhost:8080").
@@ -58,6 +119,14 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.opts.MaxIdleConnsPerHost > 0 && !c.customHC {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = c.opts.MaxIdleConnsPerHost
+		if tr.MaxIdleConns < c.opts.MaxIdleConnsPerHost {
+			tr.MaxIdleConns = c.opts.MaxIdleConnsPerHost
+		}
+		c.hc = &http.Client{Transport: tr}
 	}
 	return c, nil
 }
@@ -95,10 +164,96 @@ func (e *APIError) Unwrap() error {
 	return nil
 }
 
-// do issues one request and, on a non-2xx status, drains the body into
-// an *APIError. On success the response is returned with its body open;
-// the caller owns closing it.
-func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte, accept string) (*http.Response, error) {
+// do issues one request with the client's timeout and retry policy
+// applied and, on a non-2xx status, drains the body into an *APIError.
+// On success the response is returned with its body open; the caller
+// owns closing it. unary marks bounded request/response calls: only
+// those get Options.Timeout, and their bodies are buffered before
+// return so a retried attempt can never interleave with a half-read
+// predecessor. Long-lived calls (Wait, Results) pass unary=false —
+// they still retry failures that occur before the response starts.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte, accept string, unary bool) (*http.Response, error) {
+	attempts := c.opts.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if err := sleepCtx(ctx, c.opts.Retry.delay(a-1)); err != nil {
+				return nil, last
+			}
+		}
+		resp, err := c.doOnce(ctx, method, path, query, body, accept, unary)
+		if err == nil {
+			return resp, nil
+		}
+		last = err
+		if ctx.Err() != nil || !retryable(err) {
+			break
+		}
+	}
+	return nil, last
+}
+
+// retryable reports whether an attempt's failure is worth retrying:
+// transport-level errors (connection refused, reset, attempt timeout)
+// and 5xx responses are; well-formed non-5xx API errors are not.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500
+	}
+	return true
+}
+
+// delay returns the backoff before retry number `retry` (0-based),
+// exponentially grown from BaseDelay, capped at MaxDelay, jittered.
+func (p RetryPolicy) delay(retry int) time.Duration {
+	base, cap := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < retry && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	if j := p.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		d = time.Duration(float64(d) * (1 - j*rand.Float64()))
+	}
+	return d
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, query url.Values, body []byte, accept string, unary bool) (*http.Response, error) {
+	if unary && c.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
+		defer cancel()
+	}
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
@@ -123,6 +278,17 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if unary && c.opts.Timeout > 0 {
+			// The attempt's timeout context dies when doOnce returns, which
+			// would abort a body still being read — so read it here, inside
+			// the timeout, and hand back a drained replacement.
+			raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if err != nil {
+				return nil, fmt.Errorf("client: %s %s: read response: %w", method, path, err)
+			}
+			resp.Body = io.NopCloser(bytes.NewReader(raw))
+		}
 		return resp, nil
 	}
 	defer resp.Body.Close()
@@ -145,9 +311,11 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	return nil, apiErr
 }
 
-// getJSON issues a GET and decodes the JSON response into out.
-func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out any) error {
-	resp, err := c.do(ctx, http.MethodGet, path, query, nil, "application/json")
+// getJSON issues a GET and decodes the JSON response into out. unary
+// follows do's meaning: bounded calls get Options.Timeout, long polls
+// (Wait) do not.
+func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out any, unary bool) error {
+	resp, err := c.do(ctx, http.MethodGet, path, query, nil, "application/json", unary)
 	if err != nil {
 		return err
 	}
@@ -164,7 +332,7 @@ func (c *Client) Submit(ctx context.Context, spec campaign.Spec) (campaign.Job, 
 	if err != nil {
 		return campaign.Job{}, fmt.Errorf("client: encode spec: %w", err)
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", nil, body, "application/json")
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", nil, body, "application/json", true)
 	if err != nil {
 		return campaign.Job{}, err
 	}
@@ -182,7 +350,7 @@ func (c *Client) Submit(ctx context.Context, spec campaign.Spec) (campaign.Job, 
 // Job returns one job's current status: GET /v1/jobs/{id}.
 func (c *Client) Job(ctx context.Context, id string) (campaign.Snapshot, error) {
 	var snap campaign.Snapshot
-	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id), nil, &snap)
+	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id), nil, &snap, true)
 	return snap, err
 }
 
@@ -190,7 +358,7 @@ func (c *Client) Job(ctx context.Context, id string) (campaign.Snapshot, error) 
 // server-side until the job is terminal or ctx is cancelled.
 func (c *Client) Wait(ctx context.Context, id string) (campaign.Snapshot, error) {
 	var snap campaign.Snapshot
-	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id), url.Values{"wait": {"1"}}, &snap)
+	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id), url.Values{"wait": {"1"}}, &snap, false)
 	return snap, err
 }
 
@@ -220,13 +388,13 @@ func (c *Client) Jobs(ctx context.Context, opts ListOptions) (JobList, error) {
 		q.Set("after", opts.After)
 	}
 	var page JobList
-	err := c.getJSON(ctx, "/v1/jobs", q, &page)
+	err := c.getJSON(ctx, "/v1/jobs", q, &page, true)
 	return page, err
 }
 
 // Cancel implements campaign.Runner: DELETE /v1/jobs/{id}.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	resp, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, "application/json")
+	resp, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, "application/json", true)
 	if err != nil {
 		return err
 	}
@@ -250,7 +418,7 @@ func (c *Client) Results(ctx context.Context, id, format string) (io.ReadCloser,
 	if format != "" {
 		q.Set("format", format)
 	}
-	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/results", q, nil, "")
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/results", q, nil, "", false)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +483,7 @@ func (c *Client) stream(ctx context.Context, id string, sinks []campaign.Sink) e
 // Describe implements campaign.Runner: GET /v1.
 func (c *Client) Describe(ctx context.Context) (campaign.Description, error) {
 	var d campaign.Description
-	err := c.getJSON(ctx, "/v1", nil, &d)
+	err := c.getJSON(ctx, "/v1", nil, &d, true)
 	return d, err
 }
 
@@ -325,7 +493,7 @@ func (c *Client) Techniques(ctx context.Context) ([]string, error) {
 	var out struct {
 		Techniques []string `json:"techniques"`
 	}
-	err := c.getJSON(ctx, "/v1/techniques", nil, &out)
+	err := c.getJSON(ctx, "/v1/techniques", nil, &out, true)
 	return out.Techniques, err
 }
 
@@ -334,13 +502,13 @@ func (c *Client) Backends(ctx context.Context) ([]string, error) {
 	var out struct {
 		Backends []string `json:"backends"`
 	}
-	err := c.getJSON(ctx, "/v1/backends", nil, &out)
+	err := c.getJSON(ctx, "/v1/backends", nil, &out, true)
 	return out.Backends, err
 }
 
 // Health checks the liveness probe: GET /healthz.
 func (c *Client) Health(ctx context.Context) error {
-	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, "application/json")
+	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, "application/json", true)
 	if err != nil {
 		return err
 	}

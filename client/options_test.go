@@ -1,0 +1,228 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/campaign"
+)
+
+// flaky is a handler that fails the first `failures` requests with the
+// given status (wrapped in the service's error envelope) and then
+// defers to next.
+type flaky struct {
+	failures int64
+	status   int
+	code     string
+	seen     atomic.Int64
+	next     http.Handler
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.seen.Add(1) <= f.failures {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(f.status)
+		json.NewEncoder(w).Encode(campaign.ErrorEnvelope{
+			Error: campaign.ErrorBody{Code: f.code, Message: "injected"},
+		})
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+func ok(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+}
+
+// TestRetryTransient5xx: a client with retries enabled absorbs
+// transient 503s (queue_full maps there) and succeeds once the server
+// recovers; the same failure sequence without retries surfaces the
+// sentinel error.
+func TestRetryTransient5xx(t *testing.T) {
+	h := &flaky{failures: 2, status: http.StatusServiceUnavailable,
+		code: campaign.CodeQueueFull, next: http.HandlerFunc(ok)}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c, err := New(srv.URL, WithOptions(Options{
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: 0.5},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health with retries: %v", err)
+	}
+	if got := h.seen.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+
+	h.seen.Store(0)
+	plain, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Health(context.Background()); !errors.Is(err, campaign.ErrQueueFull) {
+		t.Fatalf("Health without retries = %v, want ErrQueueFull", err)
+	}
+	if got := h.seen.Load(); got != 1 {
+		t.Fatalf("retry-less client issued %d requests, want 1", got)
+	}
+}
+
+// TestRetryConnectionRefused: retries span complete connection
+// failures, not just error responses — the server only starts
+// listening after the first attempt has already been refused.
+func TestRetryConnectionRefused(t *testing.T) {
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(ok))
+	addr := srv.Listener.Addr().String()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		srv.Start()
+	}()
+	defer srv.Close()
+
+	// Close the listener's accept socket is not possible pre-start; the
+	// unstarted server holds the port but refuses HTTP until Start. A
+	// request before Start hangs in accept rather than being refused on
+	// some platforms, so bound each attempt with a short timeout — the
+	// timeout itself is a retryable transport failure.
+	c, err := New("http://"+addr, WithOptions(Options{
+		Timeout: 20 * time.Millisecond,
+		Retry:   RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health across server start: %v", err)
+	}
+}
+
+// TestNoRetryOnClientError: 4xx responses are caller mistakes, not
+// transient conditions; they must surface immediately.
+func TestNoRetryOnClientError(t *testing.T) {
+	h := &flaky{failures: 99, status: http.StatusNotFound, code: campaign.CodeNotFound}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c, err := New(srv.URL, WithOptions(Options{Retry: DefaultRetry}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Job(context.Background(), "nope"); !errors.Is(err, campaign.ErrNotFound) {
+		t.Fatalf("Job = %v, want ErrNotFound", err)
+	}
+	if got := h.seen.Load(); got != 1 {
+		t.Fatalf("server saw %d requests for a 404, want 1", got)
+	}
+}
+
+// TestRetryStopsOnCancel: a cancelled caller context ends the retry
+// loop with the last real error instead of sleeping out the policy.
+func TestRetryStopsOnCancel(t *testing.T) {
+	h := &flaky{failures: 99, status: http.StatusInternalServerError, code: campaign.CodeInternal}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c, err := New(srv.URL, WithOptions(Options{
+		Retry: RetryPolicy{MaxAttempts: 1000, BaseDelay: 10 * time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = c.Health(ctx)
+	if err == nil {
+		t.Fatal("Health succeeded against a permanently failing server")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("Health = %v, want the last HTTP 500", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ran %v past cancellation", elapsed)
+	}
+}
+
+// TestUnaryTimeoutSparesWait: Options.Timeout bounds unary calls but
+// must not clamp the long-poll Wait, whose whole point is blocking for
+// the duration of a campaign.
+func TestUnaryTimeoutSparesWait(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/techniques", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(150 * time.Millisecond)
+		w.Write([]byte(`{"techniques":["STATIC"]}`))
+	})
+	mux.HandleFunc("/v1/jobs/slow", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(150 * time.Millisecond)
+		json.NewEncoder(w).Encode(campaign.Snapshot{ID: "slow", State: "done"})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c, err := New(srv.URL, WithOptions(Options{Timeout: 40 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Techniques(context.Background()); err == nil {
+		t.Fatal("Techniques beat a 40ms timeout against a 150ms handler")
+	}
+	snap, err := c.Wait(context.Background(), "slow")
+	if err != nil {
+		t.Fatalf("Wait hit the unary timeout: %v", err)
+	}
+	if snap.ID != "slow" {
+		t.Fatalf("Wait snapshot = %+v", snap)
+	}
+}
+
+// TestRetryPolicyDelay pins the backoff shape: exponential growth from
+// BaseDelay, capped at MaxDelay, and jitter only ever shrinking the
+// delay within its fraction.
+func TestRetryPolicyDelay(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	for retry, want := range []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond,
+	} {
+		if got := p.delay(retry); got != want {
+			t.Errorf("delay(%d) = %v, want %v", retry, got, want)
+		}
+	}
+	j := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := j.delay(1) // un-jittered: 20ms
+		if d < 10*time.Millisecond || d > 20*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [10ms, 20ms]", d)
+		}
+	}
+}
+
+// TestMaxIdleConnsPerHost: the tuned transport is installed only when
+// the caller has not supplied an http.Client of their own.
+func TestMaxIdleConnsPerHost(t *testing.T) {
+	c, err := New("http://localhost:1", WithOptions(Options{MaxIdleConnsPerHost: 64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, okT := c.hc.Transport.(*http.Transport)
+	if !okT || tr.MaxIdleConnsPerHost != 64 {
+		t.Fatalf("transport not tuned: %#v", c.hc.Transport)
+	}
+	custom := &http.Client{}
+	c2, err := New("http://localhost:1", WithHTTPClient(custom), WithOptions(Options{MaxIdleConnsPerHost: 64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.hc != custom {
+		t.Fatal("WithHTTPClient was overridden by Options.MaxIdleConnsPerHost")
+	}
+}

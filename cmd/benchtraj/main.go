@@ -8,24 +8,32 @@
 // per-run replay (a sink consumes every stored record, decoded from the
 // binary cache format) and the aggregate-only snapshot hit (stored
 // aggregates served without touching per-run records). The samples are
-// written as one JSON document (BENCH_PR7.json at the repo root for
-// this PR, next to the earlier BENCH_PR3/5/6.json).
+// written as one JSON document (BENCH_PR8.json at the repo root for
+// this PR, next to the earlier BENCH_PR3/5/6/7.json).
+//
+// With -servers the document additionally records distributed-fleet
+// throughput: the same spec is sharded across the listed dlsimd nodes
+// (campaign/distrib), timed cold and then re-submitted warm, so the
+// derived resubmit_speedup captures how much a fleet with a shared
+// result store (dlsimd -cache on a common directory) gains from
+// shard-level content addressing.
 //
 // It complements `go test -bench` (which guards against regressions in
 // relative terms on a developer's machine) by recording absolute
 // throughput numbers in a stable schema that CI artifacts and later
 // PRs can diff:
 //
-//	go run ./cmd/benchtraj -out BENCH_PR7.json
+//	go run ./cmd/benchtraj -out BENCH_PR8.json
 //	go run ./cmd/benchtraj -reps 50 -out /dev/stdout      # quick look
 //	go run ./cmd/benchtraj -workers 1,2,4 -min-speedup 1.5 # CI scaling gate
 //	go run ./cmd/benchtraj -min-cache-speedup 20           # CI replay gate
+//	go run ./cmd/benchtraj -servers http://a:8080,http://b:8080 -shards 4
 //
 // Every measurement executes the identical declarative campaign spec,
 // so the work per run is constant across configurations and PRs
 // (changing the spec bumps the schema's spec_hash, making stale
-// comparisons detectable). BENCH_PR7.json's spec hash matches
-// BENCH_PR3/5/6.json's, so the documents are directly comparable.
+// comparisons detectable). BENCH_PR8.json's spec hash matches
+// BENCH_PR3/5/6/7.json's, so the documents are directly comparable.
 //
 // Each measurement records the host CPU count it ran on. On a
 // single-CPU host the worker goroutines timeshare one core, so the
@@ -54,6 +62,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/campaign"
 	"repro/internal/cache"
 	"repro/internal/cliutil"
 	"repro/internal/engine"
@@ -75,15 +84,20 @@ type measurement struct {
 
 // report is the trajectory document. Schema changes must bump Schema.
 type report struct {
-	Schema    string  `json:"schema"`
-	GoVersion string  `json:"go_version"`
-	CPUs      int     `json:"cpus"`
-	SpecHash  string  `json:"spec_hash"` // campaign measured, content-addressed
-	Points    int     `json:"points"`
-	Reps      int     `json:"replications"`
-	Generated string  `json:"generated_at"`
-	Iters     int     `json:"iterations_per_measurement"`
-	Derived   derived `json:"derived"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+	SpecHash  string `json:"spec_hash"` // campaign measured, content-addressed
+	Points    int    `json:"points"`
+	Reps      int    `json:"replications"`
+	Generated string `json:"generated_at"`
+	Iters     int    `json:"iterations_per_measurement"`
+	// Nodes and Shards describe the -servers fleet, when one was
+	// measured: how many dlsimd nodes the campaign was sharded across
+	// and into how many shards.
+	Nodes   int     `json:"nodes,omitempty"`
+	Shards  int     `json:"shards,omitempty"`
+	Derived derived `json:"derived"`
 
 	Measurements []measurement `json:"measurements"`
 }
@@ -114,6 +128,14 @@ type derived struct {
 	// FastPathSpeedup is the aggregate fast path (chunk partials, no
 	// per-run events) vs the ordered per-event path at one worker.
 	FastPathSpeedup float64 `json:"fast_path_speedup"`
+	// DistributedRunsPerSec is the cold sharded-fleet throughput of the
+	// -servers measurement (0 when no fleet was measured).
+	DistributedRunsPerSec float64 `json:"distributed_runs_per_sec,omitempty"`
+	// ResubmitSpeedup is the warm re-submission of the same sharded
+	// campaign vs the cold run. With a result store shared across the
+	// fleet every shard replays from the cache, so this measures
+	// shard-level content addressing end to end.
+	ResubmitSpeedup float64 `json:"resubmit_speedup,omitempty"`
 }
 
 // discardSink consumes ordered per-run events and drops them. It has no
@@ -172,7 +194,7 @@ func main() {
 
 func run() error {
 	var (
-		out          = flag.String("out", "BENCH_PR7.json", "output file for the trajectory document")
+		out          = flag.String("out", "BENCH_PR8.json", "output file for the trajectory document")
 		reps         = flag.Int("reps", 250, "replications per campaign point")
 		iters        = flag.Int("iters", 3, "iterations per measurement (best is reported)")
 		workersCSV   = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep (must start at 1)")
@@ -181,6 +203,8 @@ func run() error {
 		minCacheSpup = flag.Float64("min-cache-speedup", 0, "fail unless the per-run cached replay beats the fastest live run by this factor (0 = no gate)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the live measurements to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile (after the live measurements) to this file")
+		serversCSV   = flag.String("servers", "", "comma-separated dlsimd base URLs; also measure the campaign sharded across this fleet (cold, then warm re-submission)")
+		shards       = flag.Int("shards", 0, "with -servers: shard count for the fleet measurement (0 = one per node)")
 	)
 	flag.Parse()
 	if *reps <= 0 || *iters <= 0 {
@@ -304,6 +328,59 @@ func run() error {
 		return err
 	}
 
+	// Distributed fleet: shard the identical spec across the -servers
+	// nodes (campaign/distrib), time the cold run, then warm
+	// re-submissions. When the fleet shares a result store the warm pass
+	// replays every shard from the cache without re-simulation.
+	var fleetRows []measurement
+	var fleetCold, fleetWarm measurement
+	nodes, shardsUsed := 0, 0
+	if *serversCSV != "" {
+		for _, u := range strings.Split(*serversCSV, ",") {
+			if strings.TrimSpace(u) != "" {
+				nodes++
+			}
+		}
+		shardsUsed = *shards
+		if shardsUsed == 0 {
+			shardsUsed = nodes
+		}
+		fleet, closeFleet, err := cliutil.NewFleetRunner(*serversCSV, cliutil.FleetOptions{Shards: *shards})
+		if err != nil {
+			return err
+		}
+		defer closeFleet()
+		timeFleet := func(name string, iters int, cached bool) (measurement, error) {
+			m := measurement{Name: name, CPUs: cpus, Cached: cached, Runs: totalRuns}
+			for i := 0; i < iters; i++ {
+				start := time.Now()
+				if _, err := campaign.Run(ctx, fleet, spec); err != nil {
+					return measurement{}, fmt.Errorf("%s: %w", name, err)
+				}
+				secs := time.Since(start).Seconds()
+				if m.Seconds == 0 || secs < m.Seconds {
+					m.Seconds = secs
+				}
+			}
+			m.RunsPerSec = float64(totalRuns) / m.Seconds
+			log.Printf("%-22s %8.0f runs/s  (%d runs in %.3fs, %d nodes, %d shards)",
+				name, m.RunsPerSec, totalRuns, m.Seconds, nodes, shardsUsed)
+			return m, nil
+		}
+		// The cold pass is a single run on purpose: a best-of loop would
+		// hit the fleet's shared cache from the second iteration on and
+		// report warm numbers as cold.
+		fleetCold, err = timeFleet("campaign/distributed/cold", 1, false)
+		if err != nil {
+			return err
+		}
+		fleetWarm, err = timeFleet("campaign/distributed/warm", *iters, true)
+		if err != nil {
+			return err
+		}
+		fleetRows = append(fleetRows, fleetCold, fleetWarm)
+	}
+
 	// Derive the scaling curve against the workers=1 baseline.
 	base := byWorkers[1]
 	bestLive := base
@@ -326,9 +403,13 @@ func run() error {
 	d.CacheSpeedup = snapshot.RunsPerSec / bestLive.RunsPerSec
 	d.ReplaySpeedup = replay.RunsPerSec / bestLive.RunsPerSec
 	d.FastPathSpeedup = base.RunsPerSec / orderedRow.RunsPerSec
+	if len(fleetRows) > 0 {
+		d.DistributedRunsPerSec = fleetCold.RunsPerSec
+		d.ResubmitSpeedup = fleetWarm.RunsPerSec / fleetCold.RunsPerSec
+	}
 
 	rep := report{
-		Schema:       "dlsim-bench-trajectory/v3", // v3: per-measurement cpus + chunk_size, scaling curve
+		Schema:       "dlsim-bench-trajectory/v4", // v4: distributed fleet rows + nodes/shards + resubmit_speedup
 		GoVersion:    runtime.Version(),
 		CPUs:         cpus,
 		SpecHash:     hash,
@@ -336,8 +417,10 @@ func run() error {
 		Reps:         *reps,
 		Generated:    time.Now().UTC().Format(time.RFC3339),
 		Iters:        *iters,
+		Nodes:        nodes,
+		Shards:       shardsUsed,
 		Derived:      d,
-		Measurements: append(live, replay, snapshot),
+		Measurements: append(append(live, replay, snapshot), fleetRows...),
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -353,6 +436,10 @@ func run() error {
 	} else {
 		log.Printf("replay speedup %.2fx, snapshot %.2fx, fast path %.2fx; wrote %s",
 			d.ReplaySpeedup, d.CacheSpeedup, d.FastPathSpeedup, *out)
+	}
+	if d.ResubmitSpeedup > 0 {
+		log.Printf("distributed: %d nodes, %d shards, %.0f runs/s cold, resubmit speedup %.2fx",
+			nodes, shardsUsed, d.DistributedRunsPerSec, d.ResubmitSpeedup)
 	}
 
 	// The CI scaling gate: 4 workers on a ≥4-CPU host must beat the

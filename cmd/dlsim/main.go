@@ -23,11 +23,15 @@
 //	dlsim -spec campaign.json -cache .dlsim-cache       # declarative grid
 //	dlsim -tech FAC -per-run 1000 -out runs.csv         # raw per-run data
 //	dlsim -spec campaign.json -server http://host:8080  # execute on a dlsimd daemon
+//	dlsim -spec campaign.json -servers http://a:8080,http://b:8080 -shards 4
 //
 // With -server the campaign executes remotely through the daemon's /v1
 // API (the repro/client SDK) instead of in-process; results — streamed
 // -out files and the printed aggregates alike — are bit-identical to a
-// local run of the same spec.
+// local run of the same spec. With -servers the campaign is sharded
+// across a fleet of daemons (campaign/distrib) and merged back
+// bit-identically, with failed or straggling shards retried on
+// surviving nodes.
 package main
 
 import (
@@ -87,24 +91,43 @@ func run(ctx context.Context) error {
 		cacheDir = flag.String("cache", "", "content-addressed result cache directory; repeated campaigns are served without re-simulation")
 		outFile  = flag.String("out", "", `stream per-run metrics to this file: .jsonl/.json selects JSON Lines, anything else CSV ("-" = CSV to stdout)`)
 		server   = flag.String("server", "", "dlsimd base URL (e.g. http://localhost:8080); campaigns execute remotely through the /v1 API instead of in-process")
+		servers  = flag.String("servers", "", "comma-separated dlsimd base URLs; the campaign is sharded across the fleet and merged bit-identically")
+		shards   = flag.Int("shards", 0, "with -servers: number of shards to split the campaign into (0 = one per node)")
+		shardTO  = flag.Duration("shard-timeout", 0, "with -servers: per-shard attempt deadline before the shard is retried elsewhere (0 = none)")
 	)
 	flag.Parse()
 
-	if *server != "" {
+	if *server != "" && *servers != "" {
+		return cliutil.Usagef("-server and -servers are mutually exclusive")
+	}
+	if *server != "" || *servers != "" {
 		switch {
 		case *replayIn != "":
-			return cliutil.Usagef("-replay needs local execution; drop -server")
+			return cliutil.Usagef("-replay needs local execution; drop -server/-servers")
 		case *traceOut != "" || *verbose:
-			return cliutil.Usagef("-trace and -v re-execute runs locally; drop -server")
+			return cliutil.Usagef("-trace and -v re-execute runs locally; drop -server/-servers")
 		case *cacheDir != "":
-			return cliutil.Usagef("-cache is the local result store; the server manages its own (drop -cache with -server)")
+			return cliutil.Usagef("-cache is the local result store; the server manages its own (drop -cache with -server/-servers)")
 		}
+	}
+	if *servers == "" && (*shards != 0 || *shardTO != 0) {
+		return cliutil.Usagef("-shards and -shard-timeout only apply with -servers")
 	}
 	store, err := cliutil.OpenStore(*cacheDir)
 	if err != nil {
 		return err
 	}
-	runner, closeRunner, err := cliutil.NewRunner(*server, store, *workers)
+	var (
+		runner      campaign.Runner
+		closeRunner func()
+	)
+	if *servers != "" {
+		runner, closeRunner, err = cliutil.NewFleetRunner(*servers, cliutil.FleetOptions{
+			Shards: *shards, ShardTimeout: *shardTO,
+		})
+	} else {
+		runner, closeRunner, err = cliutil.NewRunner(*server, store, *workers)
+	}
 	if err != nil {
 		return err
 	}

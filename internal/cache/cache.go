@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // Store is a content-addressed blob store. Get reports a miss with
@@ -161,6 +162,44 @@ func (s *Disk) Put(ctx context.Context, key string, data []byte) error {
 		return fmt.Errorf("cache: %w", err)
 	}
 	return nil
+}
+
+// Counting wraps a Store and counts hits, misses and puts — cheap
+// observability for cache-sensitive paths (a warm-store shard
+// resubmission should be all hits and zero backend runs, and the
+// counters are how benchmarks and tests prove it). Safe for concurrent
+// use; errors count as misses.
+type Counting struct {
+	inner Store
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+}
+
+// NewCounting wraps inner with hit/miss/put counters.
+func NewCounting(inner Store) *Counting { return &Counting{inner: inner} }
+
+// Get implements Store.
+func (s *Counting) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	data, ok, err := s.inner.Get(ctx, key)
+	if ok && err == nil {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return data, ok, err
+}
+
+// Put implements Store.
+func (s *Counting) Put(ctx context.Context, key string, data []byte) error {
+	s.puts.Add(1)
+	return s.inner.Put(ctx, key, data)
+}
+
+// Stats returns the counters' current values.
+func (s *Counting) Stats() (hits, misses, puts int64) {
+	return s.hits.Load(), s.misses.Load(), s.puts.Load()
 }
 
 // Tiered layers stores fastest-first: Get consults each layer in order

@@ -230,3 +230,30 @@ func TestTieredEmptyIsAlwaysMiss(t *testing.T) {
 		t.Fatalf("empty tiered Get = ok=%v err=%v", ok, err)
 	}
 }
+
+func TestCountingStats(t *testing.T) {
+	counted := NewCounting(NewMemory())
+	if _, ok, err := counted.Get(ctx, key); ok || err != nil {
+		t.Fatalf("Get on empty store = ok=%v err=%v", ok, err)
+	}
+	if err := counted.Put(ctx, key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if data, ok, err := counted.Get(ctx, key); !ok || err != nil || string(data) != "v" {
+			t.Fatalf("Get after Put = %q ok=%v err=%v", data, ok, err)
+		}
+	}
+	// An erroring layer counts as a miss, never a hit.
+	broken := NewCounting(failingStore{})
+	if _, _, err := broken.Get(ctx, key); err == nil {
+		t.Fatal("failing store error swallowed")
+	}
+	if hits, misses, _ := broken.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("failing Get counted hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	hits, misses, puts := counted.Stats()
+	if hits != 3 || misses != 1 || puts != 1 {
+		t.Fatalf("Stats = %d/%d/%d, want hits=3 misses=1 puts=1", hits, misses, puts)
+	}
+}

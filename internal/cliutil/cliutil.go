@@ -20,8 +20,10 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/campaign"
+	"repro/campaign/distrib"
 	"repro/client"
 	"repro/internal/ascii"
 	"repro/internal/cache"
@@ -154,6 +156,50 @@ func NewRunner(server string, store cache.Store, workers int) (campaign.Runner, 
 		return nil, nil, Usagef("server: %v", err)
 	}
 	return c, func() {}, nil
+}
+
+// FleetOptions carries the flag-level tuning of a -servers fleet.
+type FleetOptions struct {
+	// Shards is the target shard count (0 = one per node).
+	Shards int
+	// ShardTimeout is the per-shard attempt deadline (0 = none).
+	ShardTimeout time.Duration
+	// Attempts is the placement attempts per shard (0 = distrib default).
+	Attempts int
+}
+
+// NewFleetRunner builds the distributed coordinator the -servers flag
+// selects: one SDK client per comma-separated dlsimd base URL, fanned
+// out through campaign/distrib. Each client gets a retrying transport
+// (client.DefaultRetry) so transient node hiccups are absorbed below
+// the coordinator's own shard retry. Results are bit-identical to a
+// single-node or in-process run of the same spec. A malformed URL list
+// is a usage error.
+func NewFleetRunner(servers string, opts FleetOptions) (campaign.Runner, func(), error) {
+	var nodes []campaign.Runner
+	for _, raw := range strings.Split(servers, ",") {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			continue
+		}
+		c, err := client.New(u, client.WithOptions(client.Options{Retry: client.DefaultRetry}))
+		if err != nil {
+			return nil, nil, Usagef("servers: %v", err)
+		}
+		nodes = append(nodes, c)
+	}
+	if len(nodes) == 0 {
+		return nil, nil, Usagef("servers: no base URLs in %q", servers)
+	}
+	coord, err := distrib.New(nodes, distrib.Options{
+		Shards:       opts.Shards,
+		ShardTimeout: opts.ShardTimeout,
+		Attempts:     opts.Attempts,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return coord, func() {}, nil
 }
 
 // RunSpecFile executes the declarative campaign spec in the given JSON

@@ -1,0 +1,63 @@
+package engine
+
+import "fmt"
+
+// This file implements sub-spec derivation: carving a single grid
+// point's replication window out of a campaign spec as a spec of its
+// own. A sub-spec is an ordinary CampaignSpec — hashable, cacheable,
+// executable by any campaign.Runner — whose runs draw exactly the seeds
+// the parent grid assigns to that (point, replication-window) slice.
+// That identity is what lets a distributed coordinator
+// (campaign/distrib) split one campaign across many dlsimd nodes and
+// merge the result streams bit-identically to a single-node run.
+
+// GridPoints returns the number of grid points the spec expands to
+// (len(Ns) × len(Ps) × len(Techniques)) without building workloads.
+func (s CampaignSpec) GridPoints() int {
+	return len(s.Ns) * len(s.Ps) * len(s.Techniques)
+}
+
+// PointCoords returns the (technique, n, p) cell of expanded point
+// index pi, following the n-major, then p, then technique order Points
+// uses.
+func (s CampaignSpec) PointCoords(pi int) (technique string, n int64, p int, err error) {
+	nt, np := len(s.Techniques), len(s.Ps)
+	if nt == 0 || np == 0 || len(s.Ns) == 0 {
+		return "", 0, 0, fmt.Errorf("engine: campaign spec: empty technique/n/p lists")
+	}
+	if pi < 0 || pi >= s.GridPoints() {
+		return "", 0, 0, fmt.Errorf("engine: point index %d out of range [0, %d)", pi, s.GridPoints())
+	}
+	return s.Techniques[pi%nt], s.Ns[pi/(np*nt)], s.Ps[(pi/nt)%np], nil
+}
+
+// SubSpec returns the sub-spec covering replications [repOff,
+// repOff+reps) of expanded grid point pi: a single-point spec whose
+// seed derivation is shifted by RepOffset so that its run r draws the
+// state the parent's run (pi, repOff+r) draws, under every seed policy.
+// All workload and scheduler parameters are inherited; a zero
+// Workload.N keeps resolving to the point's own task count, exactly as
+// in the parent. The sub-spec's canonical hash is its own content
+// address: two coordinators (or one coordinator retrying a shard)
+// submitting the same window to nodes sharing a content-addressed
+// store pay for the backend runs exactly once.
+func (s CampaignSpec) SubSpec(pi, repOff, reps int) (CampaignSpec, error) {
+	tech, n, p, err := s.PointCoords(pi)
+	if err != nil {
+		return CampaignSpec{}, err
+	}
+	if reps <= 0 {
+		return CampaignSpec{}, fmt.Errorf("engine: sub-spec replications must be positive, got %d", reps)
+	}
+	if repOff < 0 || repOff+reps > s.Replications {
+		return CampaignSpec{}, fmt.Errorf("engine: sub-spec window [%d, %d) outside [0, %d)",
+			repOff, repOff+reps, s.Replications)
+	}
+	sub := s
+	sub.Techniques = []string{tech}
+	sub.Ns = []int64{n}
+	sub.Ps = []int{p}
+	sub.Replications = reps
+	sub.RepOffset = s.RepOffset + repOff
+	return sub, nil
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// shardTestSpec is a small 2×1×2 grid (4 points) exercised by every
+// sub-spec test below.
+func shardTestSpec() CampaignSpec {
+	return CampaignSpec{
+		Techniques:   []string{"FAC2", "GSS"},
+		Ns:           []int64{256, 512},
+		Ps:           []int{4},
+		Workload:     workload.Spec{Kind: "exponential", P1: 1},
+		H:            0.5,
+		Replications: 7,
+		Seed:         20170601,
+	}
+}
+
+// TestSubSpecSeedEquivalence proves the sharding identity the
+// distributed coordinator rests on: for every seed policy, run r of
+// SubSpec(pi, off, k) draws exactly the rand48 state run (pi, off+r) of
+// the parent draws.
+func TestSubSpecSeedEquivalence(t *testing.T) {
+	for _, policy := range []string{SeedPerCell, SeedFlat, SeedFacade, SeedShared} {
+		spec := shardTestSpec()
+		spec.SeedPolicy = policy
+		points, err := spec.Points()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parentSeed := spec.seedFunc(points)
+		for pi := range points {
+			for _, window := range [][2]int{{0, 7}, {0, 3}, {3, 4}, {6, 1}} {
+				off, reps := window[0], window[1]
+				sub, err := spec.SubSpec(pi, off, reps)
+				if err != nil {
+					t.Fatalf("%s: SubSpec(%d, %d, %d): %v", policy, pi, off, reps, err)
+				}
+				subPoints, err := sub.Points()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(subPoints) != 1 {
+					t.Fatalf("%s: sub-spec expanded to %d points, want 1", policy, len(subPoints))
+				}
+				if subPoints[0].Technique != points[pi].Technique ||
+					subPoints[0].N != points[pi].N || subPoints[0].P != points[pi].P {
+					t.Fatalf("%s: sub-spec point %+v does not match parent point %d %+v",
+						policy, subPoints[0], pi, points[pi])
+				}
+				subSeed := sub.seedFunc(subPoints)
+				for r := 0; r < reps; r++ {
+					if got, want := subSeed(0, r), parentSeed(pi, off+r); got != want {
+						t.Fatalf("%s: point %d window [%d,%d): sub run %d state %#x, parent run %d state %#x",
+							policy, pi, off, off+reps, r, got, off+r, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSubSpecExecutionEquivalence runs a shard window for real and
+// checks the metrics against the corresponding slice of the parent's
+// event stream — the end-to-end version of the seed identity.
+func TestSubSpecExecutionEquivalence(t *testing.T) {
+	spec := shardTestSpec()
+	parent, err := spec.Execute(context.Background(), ExecConfig{KeepPerRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pi, off, reps = 2, 3, 4
+	sub, err := spec.SubSpec(pi, off, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sub.Execute(context.Background(), ExecConfig{KeepPerRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aggregates) != 1 {
+		t.Fatalf("sub-spec produced %d aggregates, want 1", len(res.Aggregates))
+	}
+	for r := 0; r < reps; r++ {
+		got := res.Aggregates[0].PerRun[r]
+		want := parent.Aggregates[pi].PerRun[off+r]
+		if got != want {
+			t.Fatalf("sub run %d = %+v, want parent run (%d, %d) = %+v", r, got, pi, off+r, want)
+		}
+	}
+}
+
+// TestSubSpecHashRegression pins the sub-spec content addresses: the
+// hash must be stable under JSON field reordering (the canonical
+// encoding re-marshals a normalized struct, so wire order can never
+// leak in), distinct from the parent's hash for every proper sub-grid
+// or shifted window, and — for a window covering the whole spec —
+// identical to the parent, so a degenerate 1-shard plan shares the
+// parent's cache entry instead of duplicating it.
+func TestSubSpecHashRegression(t *testing.T) {
+	spec := shardTestSpec()
+	parentHash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// RepOffset 0 is omitted from the canonical encoding: the field's
+	// introduction must not move any pre-existing hash.
+	canon, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(canon), "rep_offset") {
+		t.Fatalf("canonical encoding of an unsharded spec mentions rep_offset: %s", canon)
+	}
+
+	sub, err := spec.SubSpec(1, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subHash, err := sub.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subHash == parentHash {
+		t.Fatalf("sub-spec hash %s collides with parent", subHash)
+	}
+
+	// A different window of the same point must hash differently.
+	other, err := spec.SubSpec(1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherHash, err := other.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherHash == subHash {
+		t.Fatalf("windows [3,7) and [0,4) of the same point share hash %s", subHash)
+	}
+
+	// Field order on the wire must not matter: parse the sub-spec from
+	// JSON with fields deliberately reordered and compare hashes.
+	reordered := []byte(`{
+		"seed": 20170601,
+		"replications": 4,
+		"rep_offset": 3,
+		"h": 0.5,
+		"workload": {"kind": "exponential", "p1": 1},
+		"ps": [4],
+		"ns": [256],
+		"techniques": ["GSS"]
+	}`)
+	parsed, err := ParseSpec(reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsedHash, err := parsed.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsedHash != subHash {
+		t.Fatalf("reordered JSON hashes to %s, struct-built sub-spec to %s", parsedHash, subHash)
+	}
+
+	// The degenerate full-cover window of a single-point spec IS the
+	// parent: same grid, same replications, offset 0 — the hashes must
+	// agree so a 1-shard plan reuses the parent's cache entry.
+	single := spec
+	single.Techniques = []string{"FAC2"}
+	single.Ns = []int64{256}
+	single.Ps = []int{4}
+	singleHash, err := single.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := single.SubSpec(0, 0, single.Replications)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullHash, err := full.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullHash != singleHash {
+		t.Fatalf("full-cover sub-spec hash %s differs from its parent %s", fullHash, singleHash)
+	}
+}
+
+// TestSubSpecValidation rejects out-of-range windows and point indices.
+func TestSubSpecValidation(t *testing.T) {
+	spec := shardTestSpec()
+	for _, bad := range []struct{ pi, off, reps int }{
+		{-1, 0, 1}, {4, 0, 1}, {0, -1, 1}, {0, 0, 0}, {0, 0, 8}, {0, 7, 1},
+	} {
+		if _, err := spec.SubSpec(bad.pi, bad.off, bad.reps); err == nil {
+			t.Errorf("SubSpec(%d, %d, %d) accepted an invalid window", bad.pi, bad.off, bad.reps)
+		}
+	}
+	if err := (CampaignSpec{RepOffset: -1}).Validate(); err == nil {
+		t.Error("Validate accepted a negative RepOffset")
+	}
+}

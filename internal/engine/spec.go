@@ -62,6 +62,20 @@ type CampaignSpec struct {
 	// rand48 states derive from it.
 	Seed       uint64 `json:"seed"`
 	SeedPolicy string `json:"seed_policy,omitempty"`
+
+	// RepOffset shifts the replication axis of the seed derivation: run r
+	// of this spec draws the rand48 state that replication RepOffset+r of
+	// a spec with RepOffset 0 would draw. It exists for sharding — a
+	// sub-spec covering the replication window [RepOffset,
+	// RepOffset+Replications) of a parent grid executes exactly the runs
+	// the parent executes over that window, so a distributed coordinator
+	// can split a campaign across nodes and merge the results
+	// bit-identically (campaign/distrib). Everything else — event
+	// indices, stream order, aggregation — stays local to this spec;
+	// only the seeds shift. 0 (the default) leaves derivations untouched
+	// and, being omitted from the canonical encoding, does not alter the
+	// hash of existing specs.
+	RepOffset int `json:"rep_offset,omitempty"`
 }
 
 // Seed policies. Each names a pure derivation from (Seed, point, rep) to
@@ -120,6 +134,9 @@ func (s CampaignSpec) Validate() error {
 	}
 	if s.Replications <= 0 {
 		return fmt.Errorf("engine: campaign spec: replications must be positive, got %d", s.Replications)
+	}
+	if s.RepOffset < 0 {
+		return fmt.Errorf("engine: campaign spec: rep offset must be non-negative, got %d", s.RepOffset)
 	}
 	switch s.Normalize().SeedPolicy {
 	case SeedPerCell, SeedFlat, SeedFacade, SeedShared:
@@ -236,14 +253,19 @@ func (s CampaignSpec) Points() ([]RunSpec, error) {
 }
 
 // seedFunc returns the policy's (point, rep) → rand48-state derivation
-// for the given expanded points.
+// for the given expanded points. RepOffset shifts the replication index
+// fed to every derivation, so a sharded sub-spec reproduces exactly the
+// seeds its replication window has in the parent grid. The per-cell
+// bases derive from cell identity (technique, n, p), never from the
+// point's position in the grid, which is what makes point-subset
+// sharding seed-exact without any further bookkeeping.
 func (s CampaignSpec) seedFunc(points []RunSpec) func(point, rep int) uint64 {
-	seed := s.Seed
+	seed, off := s.Seed, s.RepOffset
 	switch s.Normalize().SeedPolicy {
 	case SeedFlat:
-		return func(_, rep int) uint64 { return rng.RunSeed(seed, rep) }
+		return func(_, rep int) uint64 { return rng.RunSeed(seed, off+rep) }
 	case SeedFacade:
-		return func(_, rep int) uint64 { return rng.Mix64(rng.RunSeed(seed, rep)) }
+		return func(_, rep int) uint64 { return rng.Mix64(rng.RunSeed(seed, off+rep)) }
 	case SeedShared:
 		state := rng.Mix64(seed)
 		return func(_, _ int) uint64 { return state }
@@ -252,7 +274,7 @@ func (s CampaignSpec) seedFunc(points []RunSpec) func(point, rep int) uint64 {
 		for i, pt := range points {
 			bases[i] = rng.CellSeed(seed, pt.Technique, pt.N, pt.P)
 		}
-		return func(point, rep int) uint64 { return rng.RunSeed(bases[point], rep) }
+		return func(point, rep int) uint64 { return rng.RunSeed(bases[point], off+rep) }
 	}
 }
 

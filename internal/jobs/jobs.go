@@ -115,7 +115,12 @@ type Snapshot struct {
 	Total       int64  `json:"total"`     // runs in the campaign grid
 	Completed   int64  `json:"completed"` // runs finished so far
 	Submissions int    `json:"submissions"`
-	Error       string `json:"error,omitempty"`
+	// RepOffset is the spec's replication-window offset. Non-zero only
+	// for shard jobs submitted by a distributed coordinator
+	// (campaign/distrib) — surfaced so an operator listing a node's jobs
+	// can tell which window of a parent grid a job computes.
+	RepOffset int    `json:"rep_offset,omitempty"`
+	Error     string `json:"error,omitempty"`
 
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
@@ -142,6 +147,7 @@ func (j *Job) Snapshot() Snapshot {
 		Total:       j.total,
 		Completed:   j.completed.Load(),
 		Submissions: j.submissions,
+		RepOffset:   j.spec.RepOffset,
 		CreatedAt:   j.created,
 	}
 	if j.err != nil {
