@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"io"
 
 	"repro/internal/cache"
@@ -102,6 +103,18 @@ var (
 	ErrNotFound = jobs.ErrNotFound
 	// ErrClosed rejects submissions after the runner has shut down.
 	ErrClosed = jobs.ErrClosed
+	// ErrQuotaExceeded rejects a submission when the caller's tenant is
+	// at its per-tenant job quota. Distinct from ErrQueueFull: the queue
+	// may have room, just not for this tenant.
+	ErrQuotaExceeded = jobs.ErrQuotaExceeded
+	// ErrUnauthorized reports a missing or invalid API key on a service
+	// with authentication enabled. HTTP-only: the local runner has no
+	// auth surface.
+	ErrUnauthorized = errors.New("campaign: unauthorized")
+	// ErrRateLimited reports a request rejected by the service's
+	// per-tenant rate limiter. Retry after backing off; the HTTP client
+	// honors the Retry-After header automatically.
+	ErrRateLimited = errors.New("campaign: rate limited")
 )
 
 // APIVersion names the HTTP contract revision all of this package's
@@ -123,6 +136,9 @@ const (
 	CodeJobCancelled    = "job_cancelled"    // results of a cancelled job
 	CodeNotAcceptable   = "not_acceptable"   // Accept header refuses every encoding the route serves
 	CodeInternal        = "internal"         // unexpected server-side failure
+	CodeUnauthorized    = "unauthorized"     // missing or invalid API key (auth enabled)
+	CodeRateLimited     = "rate_limited"     // per-tenant rate limit hit (honor Retry-After)
+	CodeQuotaExceeded   = "quota_exceeded"   // per-tenant queued-job quota hit
 )
 
 // ErrorBody is the inner object of the /v1 error envelope — the one

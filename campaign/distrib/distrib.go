@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -215,19 +216,42 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// retryAfterHint extracts the server's Retry-After backoff from a
+// rate-limited error chain. The hint travels as a method rather than a
+// concrete type so this package never imports the HTTP client.
+func retryAfterHint(err error) time.Duration {
+	var h interface{ RetryAfterHint() time.Duration }
+	if errors.As(err, &h) {
+		return h.RetryAfterHint()
+	}
+	return 0
+}
+
 // dispatch places one piece on the fleet: submit + wait to completion
 // on a node, retrying with exponential backoff across the remaining
 // nodes on transient failure or a blown ShardTimeout. startNode seeds
 // the rotation so the initial wave spreads round-robin.
+//
+// A rate-limited rejection (campaign.ErrRateLimited) does not rotate:
+// the limit is per tenant, so the next node would refuse the shard just
+// the same, and hopping only spreads the rejection storm across the
+// fleet. The shard backs off on the spot — honoring the server's
+// Retry-After when it exceeds the policy backoff — and retries the same
+// node.
 func (c *Coordinator) dispatch(ctx context.Context, p piece, startNode int) (placement, error) {
 	var last error
+	rot := 0 // rotation offset; frozen while rate-limited
 	for a := 0; a < c.opts.Attempts; a++ {
 		if a > 0 {
-			if err := sleepCtx(ctx, c.backoff(a-1)); err != nil {
+			d := c.backoff(a - 1)
+			if hint := retryAfterHint(last); hint > d {
+				d = hint
+			}
+			if err := sleepCtx(ctx, d); err != nil {
 				break
 			}
 		}
-		ni := ((startNode+a)%len(c.nodes) + len(c.nodes)) % len(c.nodes)
+		ni := ((startNode+rot)%len(c.nodes) + len(c.nodes)) % len(c.nodes)
 		if err := c.acquire(ctx, ni); err != nil {
 			break
 		}
@@ -235,6 +259,9 @@ func (c *Coordinator) dispatch(ctx context.Context, p piece, startNode int) (pla
 		<-c.sems[ni]
 		if err == nil {
 			return pl, nil
+		}
+		if !errors.Is(err, campaign.ErrRateLimited) {
+			rot++
 		}
 		last = fmt.Errorf("distrib: shard %d (point %d, reps [%d,%d)) on node %d: %w",
 			p.index, p.point, p.repOff, p.repOff+p.reps, ni, err)

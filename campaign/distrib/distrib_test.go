@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -449,5 +450,76 @@ func TestCoordinatorRunnerSurface(t *testing.T) {
 	}
 	if !strings.Contains(strings.Join(d.SeedPolicies, ","), campaign.SeedFacade) {
 		t.Errorf("Describe seed policies %v missing %s", d.SeedPolicies, campaign.SeedFacade)
+	}
+}
+
+// rlErr mimics the SDK's rate-limited error: it unwraps to
+// campaign.ErrRateLimited and carries a Retry-After hint through the
+// RetryAfterHint method the dispatcher discovers via errors.As.
+type rlErr struct{ after time.Duration }
+
+func (e rlErr) Error() string                 { return "rate limited (injected)" }
+func (e rlErr) Unwrap() error                 { return campaign.ErrRateLimited }
+func (e rlErr) RetryAfterHint() time.Duration { return e.after }
+
+// limitedNode wraps a real node's runner, rejecting the first
+// `rejections` submissions as rate-limited.
+type limitedNode struct {
+	campaign.Runner
+	rejections atomic.Int64 // remaining injected rejections
+	submits    atomic.Int64
+}
+
+func (n *limitedNode) Submit(ctx context.Context, spec campaign.Spec) (campaign.Job, error) {
+	n.submits.Add(1)
+	if n.rejections.Add(-1) >= 0 {
+		return campaign.Job{}, rlErr{after: 5 * time.Millisecond}
+	}
+	return n.Runner.Submit(ctx, spec)
+}
+
+// TestRateLimitedShardStaysOnNode: a rate-limited rejection must back
+// off and retry the SAME node — the limit is per tenant, so rotating
+// would just spread the rejection across the fleet — and the campaign
+// still completes bit-identically once the bucket refills.
+func TestRateLimitedShardStaysOnNode(t *testing.T) {
+	// Single grid point + one shard = exactly one piece, dispatched from
+	// node 0 — so any submission reaching node 1 is a rotation.
+	spec := goldenSpec(campaign.SeedPerCell, 3)
+	spec.Techniques = []string{"FAC2"}
+	spec.Ns = []int64{128}
+	wantJSONL, _ := localReference(t, spec)
+
+	store := cache.NewMemory()
+	runners, _ := newFleet(t, 2, store)
+	n0 := &limitedNode{Runner: runners[0]}
+	n0.rejections.Store(2)
+	n1 := &limitedNode{Runner: runners[1]}
+	coord, err := New([]campaign.Runner{n0, n1},
+		Options{Shards: 1, Attempts: 5, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	var buf bytes.Buffer
+	if _, err := campaign.Execute(context.Background(), coord, spec,
+		campaign.ExecOptions{Sinks: []campaign.Sink{campaign.NewJSONLSink(&buf)}}); err != nil {
+		t.Fatalf("campaign failed across rate limiting: %v", err)
+	}
+	// 2 rejections + 1 success, all on node 0; node 1 untouched.
+	if n1.submits.Load() != 0 {
+		t.Fatalf("rate-limited shard rotated to node 1 (%d submits there)", n1.submits.Load())
+	}
+	if got := n0.submits.Load(); got < 3 {
+		t.Fatalf("node 0 saw %d submits, want ≥ 3 (2 rejections + success)", got)
+	}
+	// The Retry-After hint (5ms) floors both backoff sleeps over the
+	// 1-2ms policy.
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("campaign finished in %v, want ≥ 10ms (two floored backoffs)", elapsed)
+	}
+	if !bytes.Equal(buf.Bytes(), wantJSONL) {
+		t.Error("merged JSONL after rate limiting differs from local reference")
 	}
 }

@@ -39,7 +39,8 @@ func TestAPISurfaceSnapshot(t *testing.T) {
 		"Aggregate": "Spec engine.RunSpec; Wasted metrics.Summary; Makespan metrics.Summary; " +
 			"Speedup metrics.Summary; MeanOps float64; PerRun []engine.RunMetrics; Results []*engine.RunResult",
 		"Result": "Aggregates []engine.Aggregate; Overall metrics.Accumulator",
-		"Snapshot": "ID string json=id; Hash string json=hash; State jobs.State json=state; " +
+		"Snapshot": "ID string json=id; Hash string json=hash; Tenant string json=tenant,omitempty; " +
+			"State jobs.State json=state; " +
 			"Total int64 json=total; Completed int64 json=completed; Submissions int json=submissions; " +
 			"RepOffset int json=rep_offset,omitempty; " +
 			"Error string json=error,omitempty; CreatedAt time.Time json=created_at; " +
@@ -113,6 +114,9 @@ func TestAPISurfaceSnapshot(t *testing.T) {
 		campaign.CodeJobCancelled:    "job_cancelled",
 		campaign.CodeNotAcceptable:   "not_acceptable",
 		campaign.CodeInternal:        "internal",
+		campaign.CodeUnauthorized:    "unauthorized",
+		campaign.CodeRateLimited:     "rate_limited",
+		campaign.CodeQuotaExceeded:   "quota_exceeded",
 	}
 	for got, want := range codes {
 		if got != want {

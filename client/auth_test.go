@@ -1,0 +1,132 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/campaign"
+)
+
+// TestWithAPIKey: the key travels as a Bearer token on every request.
+func TestWithAPIKey(t *testing.T) {
+	var got atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("Authorization"))
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, WithAPIKey("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := got.Load().(string); h != "Bearer s3cret" {
+		t.Fatalf("Authorization header = %q", h)
+	}
+}
+
+// TestAuthSentinels: 401/403 envelopes unwrap to the new sentinels and
+// never retry (they are not transient).
+func TestAuthSentinels(t *testing.T) {
+	cases := []struct {
+		status int
+		code   string
+		want   error
+	}{
+		{http.StatusUnauthorized, campaign.CodeUnauthorized, ErrUnauthorized},
+		{http.StatusForbidden, campaign.CodeQuotaExceeded, ErrQuotaExceeded},
+	}
+	for _, tc := range cases {
+		h := &flaky{failures: 99, status: tc.status, code: tc.code}
+		srv := httptest.NewServer(h)
+		c, err := New(srv.URL, WithOptions(Options{Retry: DefaultRetry}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Health(context.Background()); !errors.Is(err, tc.want) {
+			t.Errorf("status %d: err = %v, want %v", tc.status, err, tc.want)
+		}
+		if got := h.seen.Load(); got != 1 {
+			t.Errorf("status %d: server saw %d requests, want 1 (no retry)", tc.status, got)
+		}
+		srv.Close()
+	}
+}
+
+// TestRetryAfterHonored: a 429 is retried, the wait respects the
+// server's Retry-After as a floor over the policy backoff, and the
+// terminal error (when attempts run out) carries both the sentinel and
+// the hint.
+func TestRetryAfterHonored(t *testing.T) {
+	var seen atomic.Int64
+	var firstRetryAt atomic.Value
+	start := time.Now()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if seen.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(campaign.ErrorEnvelope{
+				Error: campaign.ErrorBody{Code: campaign.CodeRateLimited, Message: "slow down"},
+			})
+			return
+		}
+		firstRetryAt.Store(time.Since(start))
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, WithOptions(Options{
+		// Policy backoff is a millisecond: any wait near a second proves
+		// the header was the floor.
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health across a 429: %v", err)
+	}
+	if seen.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", seen.Load())
+	}
+	if waited, _ := firstRetryAt.Load().(time.Duration); waited < 900*time.Millisecond {
+		t.Fatalf("retry came after %v, want ≥ Retry-After (1s)", waited)
+	}
+
+	// Attempts exhausted: the error unwraps to ErrRateLimited and the
+	// hint is visible through RetryAfterHint.
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(campaign.ErrorEnvelope{
+			Error: campaign.ErrorBody{Code: campaign.CodeRateLimited, Message: "still no"},
+		})
+	}))
+	defer always.Close()
+	c2, err := New(always.URL) // no retries: surface immediately
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c2.Health(context.Background())
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", apiErr.RetryAfter)
+	}
+	if apiErr.RetryAfterHint() != 7*time.Second {
+		t.Fatalf("RetryAfterHint() = %v, want 7s", apiErr.RetryAfterHint())
+	}
+}

@@ -25,11 +25,27 @@ type Client struct {
 	base     string // normalized base URL, no trailing slash
 	hc       *http.Client
 	ua       string
+	apiKey   string
 	opts     Options
 	customHC bool // WithHTTPClient was given; don't tune the transport
 }
 
 var _ campaign.Runner = (*Client)(nil)
+
+// Sentinel errors surfaced from the service's auth, rate-limit and
+// quota middleware, re-exported from campaign so callers importing only
+// this package can errors.Is against them.
+var (
+	// ErrUnauthorized reports a missing or invalid API key (HTTP 401).
+	ErrUnauthorized = campaign.ErrUnauthorized
+	// ErrRateLimited reports a request rejected by the per-tenant rate
+	// limiter (HTTP 429). The retry policy backs off automatically,
+	// honoring the server's Retry-After.
+	ErrRateLimited = campaign.ErrRateLimited
+	// ErrQuotaExceeded reports a submission rejected by the tenant's
+	// queued-job quota (HTTP 403).
+	ErrQuotaExceeded = campaign.ErrQuotaExceeded
+)
 
 // RetryPolicy configures transparent retries of transient failures.
 // Every request the client issues is idempotent — GETs and DELETEs
@@ -95,6 +111,10 @@ func WithHTTPClient(hc *http.Client) Option {
 // WithUserAgent sets the User-Agent header sent with every request.
 func WithUserAgent(ua string) Option { return func(c *Client) { c.ua = ua } }
 
+// WithAPIKey sends the key as "Authorization: Bearer <key>" on every
+// request — the credential for services running with -auth.
+func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
+
 // WithOptions installs the client's timeout, retry and connection
 // tuning knobs.
 func WithOptions(o Options) Option { return func(c *Client) { c.opts = o } }
@@ -143,11 +163,20 @@ type APIError struct {
 	// Details carries code-specific context (offending parameter, job
 	// state, ...).
 	Details map[string]any
+	// RetryAfter is the server's Retry-After hint (429 responses), zero
+	// when absent. The client's own retry loop already honors it; it is
+	// surfaced for callers orchestrating their own backoff.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("client: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
 }
+
+// RetryAfterHint returns the server-provided backoff, zero when none.
+// It lets rate-limit-aware callers (campaign/distrib) discover the hint
+// through errors.As without depending on this package's types.
+func (e *APIError) RetryAfterHint() time.Duration { return e.RetryAfter }
 
 // Unwrap maps stable error codes onto the campaign package's sentinel
 // errors, so errors.Is(err, campaign.ErrQueueFull) and friends hold for
@@ -160,6 +189,12 @@ func (e *APIError) Unwrap() error {
 		return campaign.ErrNotFound
 	case campaign.CodeShuttingDown:
 		return campaign.ErrClosed
+	case campaign.CodeUnauthorized:
+		return campaign.ErrUnauthorized
+	case campaign.CodeRateLimited:
+		return campaign.ErrRateLimited
+	case campaign.CodeQuotaExceeded:
+		return campaign.ErrQuotaExceeded
 	}
 	return nil
 }
@@ -180,7 +215,15 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	var last error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			if err := sleepCtx(ctx, c.opts.Retry.delay(a-1)); err != nil {
+			d := c.opts.Retry.delay(a - 1)
+			// A 429's Retry-After is a floor, not a suggestion: sleeping
+			// less would burn the attempt against a bucket known to be
+			// empty.
+			var apiErr *APIError
+			if errors.As(last, &apiErr) && apiErr.RetryAfter > d {
+				d = apiErr.RetryAfter
+			}
+			if err := sleepCtx(ctx, d); err != nil {
 				return nil, last
 			}
 		}
@@ -197,12 +240,13 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 }
 
 // retryable reports whether an attempt's failure is worth retrying:
-// transport-level errors (connection refused, reset, attempt timeout)
-// and 5xx responses are; well-formed non-5xx API errors are not.
+// transport-level errors (connection refused, reset, attempt timeout),
+// 5xx responses and 429 rate limiting (the bucket refills) are;
+// well-formed non-5xx API errors are not.
 func retryable(err error) bool {
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
-		return apiErr.Status >= 500
+		return apiErr.Status >= 500 || apiErr.Status == http.StatusTooManyRequests
 	}
 	return true
 }
@@ -267,6 +311,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, query url.Valu
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("User-Agent", c.ua)
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -295,6 +342,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, query url.Valu
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	var envelope campaign.ErrorEnvelope
 	apiErr := &APIError{Status: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
 	if err := json.Unmarshal(raw, &envelope); err == nil && envelope.Error.Code != "" {
 		apiErr.Code = envelope.Error.Code
 		apiErr.Message = envelope.Error.Message

@@ -11,6 +11,16 @@
 // gracefully: the listener stops, in-flight jobs are cancelled through
 // their contexts, and the worker pools drain.
 //
+// Production hardening is opt-in per subsystem: -journal DIR keeps a
+// durable, checksummed lifecycle journal (terminal jobs and recurring
+// schedules survive a crash; interrupted jobs are re-enqueued and
+// replay from the result cache with zero backend runs), -auth FILE
+// enables multi-tenant API keys, -rate/-quota-queued/-quota-running
+// bound each tenant's request rate and job footprint, and -metrics
+// exposes a Prometheus endpoint. Every flag has a DLSIMD_* environment
+// fallback so deployments can be configured without editing unit
+// files.
+//
 // Quickstart:
 //
 //	dlsimd -addr :8080 -cache .dlsim-cache &
@@ -19,6 +29,12 @@
 //	curl -s localhost:8080/v1/jobs/j1/results          # JSON Lines
 //	curl -s 'localhost:8080/v1/jobs/j1/results?format=csv'
 //	curl -s -X DELETE localhost:8080/v1/jobs/j1        # cancel
+//
+// Production:
+//
+//	dlsimd -addr :8080 -cache /var/lib/dlsim/cache \
+//	       -journal /var/lib/dlsim/journal -auth /etc/dlsim/keys \
+//	       -rate 20 -quota-queued 16 -quota-running 2 -metrics
 package main
 
 import (
@@ -37,7 +53,11 @@ import (
 	"repro/campaign"
 	"repro/internal/cache"
 	"repro/internal/cliutil"
+	"repro/internal/engine"
 	"repro/internal/jobs"
+	"repro/internal/journal"
+	"repro/internal/mw"
+	"repro/internal/recur"
 	"repro/internal/service"
 )
 
@@ -75,6 +95,13 @@ func run(ctx context.Context) error {
 		chunk    = flag.Int("chunk", envInt("DLSIMD_CHUNK", 0), "replications per work item (0 = auto-size; env DLSIMD_CHUNK; never changes results)")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown window for in-flight HTTP requests")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
+
+		journalDir = flag.String("journal", envStr("DLSIMD_JOURNAL", ""), "durable job journal directory; enables crash recovery (env DLSIMD_JOURNAL)")
+		authFile   = flag.String("auth", envStr("DLSIMD_AUTH", ""), "API key file of tenant:key lines; enables multi-tenant auth (env DLSIMD_AUTH)")
+		rate       = flag.Float64("rate", envFloat("DLSIMD_RATE", 0), "per-tenant API requests per second, 0 = unlimited (env DLSIMD_RATE)")
+		quotaQ     = flag.Int("quota-queued", envInt("DLSIMD_QUOTA_QUEUED", 0), "max jobs one tenant may have queued, 0 = unlimited (env DLSIMD_QUOTA_QUEUED)")
+		quotaR     = flag.Int("quota-running", envInt("DLSIMD_QUOTA_RUNNING", 0), "max jobs one tenant may have running, 0 = unlimited (env DLSIMD_QUOTA_RUNNING)")
+		metricsOn  = flag.Bool("metrics", envBool("DLSIMD_METRICS", false), "expose Prometheus metrics at /metrics (env DLSIMD_METRICS)")
 	)
 	flag.Parse()
 
@@ -92,15 +119,85 @@ func run(ctx context.Context) error {
 	} else {
 		log.Print("result store: in-memory (pass -cache DIR for durability)")
 	}
+	// The counting wrapper feeds the cache hit/miss/put gauges; it is
+	// pass-through when metrics are off, so always wrapping keeps one
+	// code path.
+	counted := cache.NewCounting(store)
+
+	// Journal first: the manager's lifecycle observer appends to it, and
+	// recovery replays its records once the manager exists.
+	var jn *journal.Journal
+	var recovered []journal.Record
+	if *journalDir != "" {
+		var err error
+		jn, recovered, err = journal.Open(*journalDir)
+		if err != nil {
+			return err
+		}
+		defer jn.Close()
+		log.Printf("journal: %s (%d records recovered)", *journalDir, len(recovered))
+	}
+
+	var m *daemonMetrics
+	if *metricsOn {
+		m = newDaemonMetrics()
+	}
+	var observers []jobs.Observer
+	if jn != nil {
+		observers = append(observers, journalObserver{jn: jn})
+	}
+	if m != nil {
+		observers = append(observers, m)
+	}
+	var observer jobs.Observer
+	if len(observers) > 0 {
+		observer = jobs.MultiObserver(observers...)
+	}
 
 	mgr := jobs.NewManager(jobs.Config{
-		Store:       store,
-		QueueDepth:  *queue,
-		Concurrency: *jobsN,
-		Workers:     *workers,
-		ChunkSize:   *chunk,
+		Store:        counted,
+		QueueDepth:   *queue,
+		Concurrency:  *jobsN,
+		Workers:      *workers,
+		ChunkSize:    *chunk,
+		QuotaQueued:  *quotaQ,
+		QuotaRunning: *quotaR,
+		Observer:     observer,
 	})
 	defer mgr.Close()
+	if m != nil {
+		m.bind(mgr, counted)
+	}
+	if *quotaQ > 0 || *quotaR > 0 {
+		log.Printf("quotas: %d queued, %d running per tenant (0=unlimited)", *quotaQ, *quotaR)
+	}
+
+	// Recurring campaigns resubmit through the same quota-checked path
+	// as the API; an unchanged spec is a pure cache hit every tick.
+	schedCfg := recur.Config{
+		Submit: func(tenant string, spec engine.CampaignSpec) (string, error) {
+			job, _, err := mgr.SubmitAs(tenant, spec)
+			if err != nil {
+				return "", err
+			}
+			return job.ID(), nil
+		},
+	}
+	if jn != nil {
+		schedCfg.OnChange = scheduleJournal(jn)
+	}
+	sched := recur.New(schedCfg)
+	defer sched.Stop()
+
+	if jn != nil {
+		restoreFromJournal(recovered, mgr, sched)
+		// Startup compaction trims terminal history accumulated by prior
+		// runs so the journal does not grow without bound across restarts.
+		if err := jn.Compact(512); err != nil {
+			log.Printf("journal: startup compaction: %v", err)
+		}
+	}
+	sched.Start()
 
 	effWorkers := *workers
 	if effWorkers <= 0 {
@@ -120,7 +217,53 @@ func run(ctx context.Context) error {
 		ChunkSize:   *chunk,
 		Concurrency: effJobs,
 	})
-	handler := svc.Handler()
+	svc.SetScheduler(sched)
+	api := svc.Handler()
+
+	// Middleware chain over the /v1 surface, outermost first: metrics
+	// instrumentation sees every request (including rejected ones), auth
+	// establishes the tenant, the rate limiter consumes its budget.
+	// /healthz and /metrics stay outside the chain — probes and scrapers
+	// carry no API keys.
+	var chain []func(http.Handler) http.Handler
+	if m != nil {
+		chain = append(chain, mw.Instrument(m.observe))
+	}
+	if *authFile != "" {
+		keys, err := mw.LoadKeyfile(*authFile)
+		if err != nil {
+			return err
+		}
+		var onDenied func()
+		if m != nil {
+			onDenied = m.authRejected.Inc
+		}
+		chain = append(chain, mw.Auth(keys, onDenied))
+		log.Printf("auth: API keys loaded from %s", *authFile)
+	}
+	if *rate > 0 {
+		burst := int(2 * *rate)
+		if burst < 1 {
+			burst = 1
+		}
+		var onLimited func()
+		if m != nil {
+			onLimited = m.rateLimited.Inc
+		}
+		chain = append(chain, mw.RateLimit(mw.NewLimiter(*rate, burst), onLimited))
+		log.Printf("rate limit: %g req/s per tenant (burst %d)", *rate, burst)
+	}
+	v1 := mw.Chain(api, chain...)
+
+	root := http.NewServeMux()
+	root.Handle("/v1", v1)
+	root.Handle("/v1/", v1)
+	root.Handle("/healthz", api)
+	if m != nil {
+		root.Handle("/metrics", m.reg.Handler())
+		log.Print("metrics: Prometheus exposition at /metrics")
+	}
+	handler := http.Handler(root)
 	if *pprofOn {
 		// Off by default: the profiling surface is for operators, not the
 		// public v1 API, and it exposes stacks and heap contents. The
@@ -139,15 +282,20 @@ func run(ctx context.Context) error {
 	}
 
 	srv := &http.Server{
-		Addr:        *addr,
 		Handler:     handler,
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 
+	// Explicit listen so ":0" deployments (tests, parallel daemons) can
+	// learn the bound port from the log line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
-		errc <- srv.ListenAndServe()
+		log.Printf("listening on %s", ln.Addr())
+		errc <- srv.Serve(ln)
 	}()
 
 	select {

@@ -1,0 +1,78 @@
+// Command metricscheck validates a Prometheus text exposition — CI's
+// guard that the dlsimd /metrics endpoint keeps emitting well-formed
+// output that real scrapers can ingest.
+//
+// The exposition is read from a URL argument (anything starting with
+// http:// or https://) or a file path, or from stdin when no argument
+// is given. Validation is the strict parser shared with the telemetry
+// package's tests: framing, HELP/TYPE consistency, label escaping and
+// sample syntax all checked. -require lists metric names (comma
+// separated) that must be present.
+//
+//	dlsimd -metrics -addr 127.0.0.1:9090 &
+//	metricscheck -require dlsimd_jobs,dlsimd_http_requests_total http://127.0.0.1:9090/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric names that must be present")
+	flag.Parse()
+	if err := run(flag.Arg(0), *require); err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(src, require string) error {
+	data, err := read(src)
+	if err != nil {
+		return err
+	}
+	exp, err := telemetry.Parse(data)
+	if err != nil {
+		return err
+	}
+	var missing []string
+	for _, name := range strings.Split(require, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if !exp.Has(name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing required metrics: %s", strings.Join(missing, ", "))
+	}
+	fmt.Printf("ok: %d samples across %d families\n", len(exp.Samples), len(exp.Types))
+	return nil
+}
+
+func read(src string) ([]byte, error) {
+	switch {
+	case src == "":
+		return io.ReadAll(os.Stdin)
+	case strings.HasPrefix(src, "http://"), strings.HasPrefix(src, "https://"):
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	default:
+		return os.ReadFile(src)
+	}
+}

@@ -55,7 +55,39 @@ var (
 	ErrNotDone = errors.New("jobs: job has not completed")
 	// ErrClosed rejects submissions after Close.
 	ErrClosed = errors.New("jobs: manager closed")
+	// ErrQuotaExceeded rejects a submission when the submitting tenant
+	// is at its queued-job quota — per-tenant backpressure, as opposed
+	// to ErrQueueFull's whole-service backpressure.
+	ErrQuotaExceeded = errors.New("jobs: tenant quota exceeded")
 )
+
+// Observer receives job lifecycle notifications — the hook the durable
+// journal (and metrics) attach through. JobSubmitted fires once per
+// new job, before any transition; JobTransition fires on every state
+// change, including the terminal one. Callbacks run synchronously on
+// the manager's goroutines and must not call back into the Manager.
+type Observer interface {
+	JobSubmitted(spec engine.CampaignSpec, snap Snapshot)
+	JobTransition(snap Snapshot)
+}
+
+// MultiObserver fans lifecycle notifications out to several observers
+// in order.
+func MultiObserver(obs ...Observer) Observer { return multiObserver(obs) }
+
+type multiObserver []Observer
+
+func (m multiObserver) JobSubmitted(spec engine.CampaignSpec, snap Snapshot) {
+	for _, o := range m {
+		o.JobSubmitted(spec, snap)
+	}
+}
+
+func (m multiObserver) JobTransition(snap Snapshot) {
+	for _, o := range m {
+		o.JobTransition(snap)
+	}
+}
 
 // Config parameterizes a Manager.
 type Config struct {
@@ -81,15 +113,29 @@ type Config struct {
 	// work item inside a campaign; 0 auto-sizes (see
 	// engine.ExecConfig.ChunkSize). Never changes results.
 	ChunkSize int
+
+	// QuotaQueued bounds the jobs one tenant may have queued at once;
+	// submissions beyond it fail with ErrQuotaExceeded. 0 disables the
+	// quota. Joining an existing job via hash dedup never counts.
+	QuotaQueued int
+
+	// QuotaRunning bounds the jobs one tenant may have running at once:
+	// a runner skips over queued jobs whose tenant is at the bound and
+	// executes the next eligible one instead. 0 disables the quota.
+	QuotaRunning int
+
+	// Observer, when non-nil, receives job lifecycle notifications.
+	Observer Observer
 }
 
 // Job is one submitted campaign. All exported methods are safe for
 // concurrent use.
 type Job struct {
-	id    string
-	hash  string
-	spec  engine.CampaignSpec
-	total int64 // points × replications
+	id     string
+	hash   string
+	tenant string
+	spec   engine.CampaignSpec
+	total  int64 // points × replications
 
 	completed atomic.Int64 // runs delivered by the progress sink
 
@@ -109,8 +155,11 @@ type Job struct {
 // Snapshot is a point-in-time copy of a job's externally visible state,
 // shaped for JSON status endpoints.
 type Snapshot struct {
-	ID          string `json:"id"`
-	Hash        string `json:"hash"`
+	ID   string `json:"id"`
+	Hash string `json:"hash"`
+	// Tenant is the submitting tenant's name; empty for jobs submitted
+	// without tenancy (direct Submit, auth disabled daemons).
+	Tenant      string `json:"tenant,omitempty"`
 	State       State  `json:"state"`
 	Total       int64  `json:"total"`     // runs in the campaign grid
 	Completed   int64  `json:"completed"` // runs finished so far
@@ -143,6 +192,7 @@ func (j *Job) Snapshot() Snapshot {
 	s := Snapshot{
 		ID:          j.id,
 		Hash:        j.hash,
+		Tenant:      j.tenant,
 		State:       j.state,
 		Total:       j.total,
 		Completed:   j.completed.Load(),
@@ -169,15 +219,20 @@ func (j *Job) Snapshot() Snapshot {
 // chunk-granular partials, so attaching it never disqualifies a job
 // from the engine's aggregate fast path (one counter bump per chunk
 // instead of per run).
-type progressSink struct{ j *Job }
+type progressSink struct {
+	j    *Job
+	runs *atomic.Int64 // manager-wide delivered-run counter (metrics)
+}
 
 func (s progressSink) Consume(context.Context, engine.Event) error {
 	s.j.completed.Add(1)
+	s.runs.Add(1)
 	return nil
 }
 
 func (s progressSink) ConsumePartial(_ context.Context, p engine.MetricsPartial) error {
 	s.j.completed.Add(int64(p.Len()))
+	s.runs.Add(int64(p.Len()))
 	return nil
 }
 
@@ -188,23 +243,51 @@ func (s progressSink) Close() error { return nil }
 // a queued job frees its slot immediately instead of occupying channel
 // capacity until a runner drains it.
 type Manager struct {
-	store   cache.Store
-	workers int
-	chunk   int // replications per work item; 0 = auto
-	depth   int // max queued (not yet running) jobs
+	store       cache.Store
+	workers     int
+	chunk       int // replications per work item; 0 = auto
+	depth       int // max queued (not yet running) jobs
+	quotaQueued int // per-tenant queued bound; 0 = unlimited
+	quotaRun    int // per-tenant running bound; 0 = unlimited
+	observer    Observer
 
 	ctx    context.Context // base context; Close cancels it
 	stop   context.CancelFunc
 	runner sync.WaitGroup
 
+	runs atomic.Int64 // runs delivered across all jobs (incl. cached replays)
+
 	mu      sync.Mutex
-	ready   *sync.Cond // signaled on enqueue and on Close
+	ready   *sync.Cond // signaled on enqueue, quota headroom and Close
 	pending []*Job     // FIFO of queued jobs awaiting a runner
 	closed  bool
 	seq     int
-	jobs    map[string]*Job // by job ID
-	order   []string        // insertion order for List
-	active  map[string]*Job // by spec hash, queued or running only
+	jobs    map[string]*Job            // by job ID
+	order   []string                   // insertion order for List
+	active  map[string]*Job            // by spec hash, queued or running only
+	tenants map[string]*tenantCounters // per-tenant quota accounting
+}
+
+// tenantCounters tracks one tenant's live jobs for quota enforcement.
+type tenantCounters struct{ queued, running int }
+
+// tenant returns (allocating if needed) the counters for name. Callers
+// hold m.mu.
+func (m *Manager) tenant(name string) *tenantCounters {
+	c, ok := m.tenants[name]
+	if !ok {
+		c = &tenantCounters{}
+		m.tenants[name] = c
+	}
+	return c
+}
+
+// notify delivers a transition snapshot to the observer, if any.
+// Callers must not hold j.mu (Snapshot takes it).
+func (m *Manager) notify(j *Job) {
+	if m.observer != nil {
+		m.observer.JobTransition(j.Snapshot())
+	}
 }
 
 // NewManager starts a manager with cfg's queue depth and concurrency.
@@ -222,14 +305,18 @@ func NewManager(cfg Config) *Manager {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		store:   cfg.Store,
-		workers: cfg.Workers,
-		chunk:   cfg.ChunkSize,
-		depth:   cfg.QueueDepth,
-		ctx:     ctx,
-		stop:    stop,
-		jobs:    make(map[string]*Job),
-		active:  make(map[string]*Job),
+		store:       cfg.Store,
+		workers:     cfg.Workers,
+		chunk:       cfg.ChunkSize,
+		depth:       cfg.QueueDepth,
+		quotaQueued: cfg.QuotaQueued,
+		quotaRun:    cfg.QuotaRunning,
+		observer:    cfg.Observer,
+		ctx:         ctx,
+		stop:        stop,
+		jobs:        make(map[string]*Job),
+		active:      make(map[string]*Job),
+		tenants:     make(map[string]*tenantCounters),
 	}
 	m.ready = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.Concurrency; i++ {
@@ -239,11 +326,20 @@ func NewManager(cfg Config) *Manager {
 	return m
 }
 
-// Submit validates the spec and enqueues it as a job. If a job with the
-// same canonical spec hash is already queued or running, that job is
-// returned with deduped == true and no new execution happens: the
-// submissions share one campaign. A full queue fails with ErrQueueFull.
+// Submit validates the spec and enqueues it as a job with no tenant
+// tag. See SubmitAs.
 func (m *Manager) Submit(spec engine.CampaignSpec) (job *Job, deduped bool, err error) {
+	return m.SubmitAs("", spec)
+}
+
+// SubmitAs validates the spec and enqueues it as a job owned by
+// tenant. If a job with the same canonical spec hash is already queued
+// or running, that job is returned with deduped == true and no new
+// execution happens: the submissions share one campaign (the job keeps
+// its original tenant, and the join never counts against any quota). A
+// full queue fails with ErrQueueFull; a tenant at its queued-job quota
+// fails with ErrQuotaExceeded.
+func (m *Manager) SubmitAs(tenant string, spec engine.CampaignSpec) (job *Job, deduped bool, err error) {
 	// Expanding the grid both validates the spec and sizes the progress
 	// denominator before anything is enqueued.
 	points, err := spec.Points()
@@ -269,11 +365,17 @@ func (m *Manager) Submit(spec engine.CampaignSpec) (job *Job, deduped bool, err 
 	if len(m.pending) >= m.depth {
 		return nil, false, ErrQueueFull
 	}
+	tc := m.tenant(tenant)
+	if m.quotaQueued > 0 && tc.queued >= m.quotaQueued {
+		return nil, false, fmt.Errorf("%w: tenant %q has %d jobs queued (max %d)",
+			ErrQuotaExceeded, tenant, tc.queued, m.quotaQueued)
+	}
 	m.seq++
 	jctx, cancel := context.WithCancel(m.ctx)
 	j := &Job{
 		id:          fmt.Sprintf("j%d", m.seq),
 		hash:        hash,
+		tenant:      tenant,
 		spec:        spec,
 		total:       int64(len(points)) * int64(spec.Replications),
 		state:       StateQueued,
@@ -287,8 +389,128 @@ func (m *Manager) Submit(spec engine.CampaignSpec) (job *Job, deduped bool, err 
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.active[hash] = j
+	tc.queued++
+	if m.observer != nil {
+		// Under m.mu: the job cannot be claimed by a runner (claiming
+		// needs the lock), so the submit notification always precedes
+		// the job's first transition.
+		m.observer.JobSubmitted(spec, j.Snapshot())
+	}
 	m.ready.Signal()
 	return j, false, nil
+}
+
+// Restore re-inserts a journaled job without notifying the observer —
+// the crash-recovery replay path. A terminal snapshot is restored
+// as-is (results re-materialize from the content-addressed store on
+// demand); a queued or running snapshot is re-enqueued from scratch
+// and executes again, which for cached specs costs zero backend runs.
+// The job keeps its original ID, tenant and creation time, and the
+// manager's ID sequence is advanced past it.
+func (m *Manager) Restore(spec engine.CampaignSpec, snap Snapshot) (*Job, error) {
+	points, err := spec.Points()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if snap.ID == "" {
+		return nil, fmt.Errorf("jobs: restore: snapshot without id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := m.jobs[snap.ID]; ok {
+		return nil, fmt.Errorf("jobs: restore: job %q already exists", snap.ID)
+	}
+	var n int
+	if _, err := fmt.Sscanf(snap.ID, "j%d", &n); err == nil && n > m.seq {
+		m.seq = n
+	}
+	jctx, cancel := context.WithCancel(m.ctx)
+	j := &Job{
+		id:          snap.ID,
+		hash:        hash,
+		tenant:      snap.Tenant,
+		spec:        spec,
+		total:       int64(len(points)) * int64(spec.Replications),
+		submissions: 1,
+		created:     snap.CreatedAt,
+		execCtx:     jctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+	}
+	if j.created.IsZero() {
+		j.created = time.Now()
+	}
+	if snap.State.Terminal() {
+		j.state = snap.State
+		j.completed.Store(snap.Completed)
+		if snap.Error != "" {
+			j.err = errors.New(snap.Error)
+		}
+		if snap.StartedAt != nil {
+			j.started = *snap.StartedAt
+		}
+		if snap.FinishedAt != nil {
+			j.finished = *snap.FinishedAt
+		}
+		close(j.done)
+		cancel()
+	} else {
+		j.state = StateQueued
+		m.pending = append(m.pending, j)
+		if _, ok := m.active[hash]; !ok {
+			m.active[hash] = j
+		}
+		m.tenant(j.tenant).queued++
+		m.ready.Signal()
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	return j, nil
+}
+
+// Stats is a point-in-time census of the manager's jobs, shaped for
+// the /metrics endpoint.
+type Stats struct {
+	Queued, Running, Done, Failed, Cancelled int
+	// RunsDelivered counts runs delivered to job progress across all
+	// jobs, including cached replays.
+	RunsDelivered int64
+}
+
+// Stats counts jobs by state.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	s := Stats{RunsDelivered: m.runs.Load()}
+	for _, j := range jobs {
+		j.mu.Lock()
+		st := j.state
+		j.mu.Unlock()
+		switch st {
+		case StateQueued:
+			s.Queued++
+		case StateRunning:
+			s.Running++
+		case StateDone:
+			s.Done++
+		case StateFailed:
+			s.Failed++
+		case StateCancelled:
+			s.Cancelled++
+		}
+	}
+	return s
 }
 
 // Get returns the job with the given ID.
@@ -373,6 +595,7 @@ func (m *Manager) Cancel(id string) error {
 		j.cancel()
 		m.retire(j)
 		m.dequeue(j) // free the queue slot for new submissions
+		m.notify(j)
 		return nil
 	case StateRunning:
 		j.mu.Unlock()
@@ -385,13 +608,17 @@ func (m *Manager) Cancel(id string) error {
 	}
 }
 
-// dequeue removes a (cancelled) job from the pending FIFO, if present.
+// dequeue removes a (cancelled) job from the pending FIFO, if present,
+// releasing its tenant's queued-quota slot. A job absent from the FIFO
+// was already claimed by a runner, which released the slot itself.
 func (m *Manager) dequeue(j *Job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i, p := range m.pending {
 		if p == j {
 			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			m.tenant(j.tenant).queued--
+			m.ready.Broadcast() // a quota slot freed; re-scan the FIFO
 			return
 		}
 	}
@@ -462,13 +689,18 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	for _, j := range pending {
 		j.mu.Lock()
+		finalized := false
 		if j.state == StateQueued {
 			j.state = StateCancelled
 			j.err = context.Canceled
 			j.finished = time.Now()
 			close(j.done)
+			finalized = true
 		}
 		j.mu.Unlock()
+		if finalized {
+			m.notify(j)
+		}
 	}
 }
 
@@ -482,45 +714,75 @@ func (m *Manager) retire(j *Job) {
 	m.mu.Unlock()
 }
 
-// run is one runner goroutine: it pops jobs off the pending FIFO and
-// executes them, sleeping on the condition variable while the queue is
-// empty. Close broadcasts after setting closed, so runners never sleep
-// through shutdown.
+// claimableLocked returns the index of the first pending job whose
+// tenant has running-quota headroom, or -1. Callers hold m.mu.
+func (m *Manager) claimableLocked() int {
+	for i, j := range m.pending {
+		if m.quotaRun <= 0 || m.tenant(j.tenant).running < m.quotaRun {
+			return i
+		}
+	}
+	return -1
+}
+
+// run is one runner goroutine: it claims eligible jobs off the pending
+// FIFO and executes them, sleeping on the condition variable while no
+// job is claimable (empty queue, or every queued tenant at its running
+// quota). Close broadcasts after setting closed, so runners never
+// sleep through shutdown.
 func (m *Manager) run() {
 	defer m.runner.Done()
 	for {
 		m.mu.Lock()
-		for !m.closed && len(m.pending) == 0 {
-			m.ready.Wait()
+		var j *Job
+		for j == nil {
+			if m.closed {
+				m.mu.Unlock()
+				return
+			}
+			idx := m.claimableLocked()
+			if idx < 0 {
+				m.ready.Wait()
+				continue
+			}
+			cand := m.pending[idx]
+			m.pending = append(m.pending[:idx], m.pending[idx+1:]...)
+			tc := m.tenant(cand.tenant)
+			tc.queued--
+			cand.mu.Lock()
+			if cand.state != StateQueued {
+				// Cancelled between leaving StateQueued and its removal
+				// from the FIFO; its slot is already freed.
+				cand.mu.Unlock()
+				continue
+			}
+			cand.state = StateRunning
+			cand.started = time.Now()
+			cand.mu.Unlock()
+			tc.running++
+			j = cand
 		}
-		if m.closed {
-			m.mu.Unlock()
-			return
-		}
-		j := m.pending[0]
-		m.pending = m.pending[1:]
 		m.mu.Unlock()
+
+		m.notify(j)
 		m.runJob(j)
+
+		m.mu.Lock()
+		m.tenant(j.tenant).running--
+		// Quota headroom may unblock a runner waiting on another job.
+		m.ready.Broadcast()
+		m.mu.Unlock()
 	}
 }
 
-// runJob executes one job through the engine and finalizes its state.
+// runJob executes one already-claimed (StateRunning) job through the
+// engine and finalizes its state.
 func (m *Manager) runJob(j *Job) {
-	j.mu.Lock()
-	if j.state != StateQueued { // cancelled while queued
-		j.mu.Unlock()
-		return
-	}
-	j.state = StateRunning
-	j.started = time.Now()
-	ctx := j.execCtx
-	j.mu.Unlock()
-
-	_, err := j.spec.Execute(ctx, engine.ExecConfig{
+	_, err := j.spec.Execute(j.execCtx, engine.ExecConfig{
 		Workers:   m.workers,
 		ChunkSize: m.chunk,
 		Cache:     m.store,
-		Sinks:     []engine.Sink{progressSink{j}},
+		Sinks:     []engine.Sink{progressSink{j, &m.runs}},
 	})
 
 	m.retire(j)
@@ -539,4 +801,5 @@ func (m *Manager) runJob(j *Job) {
 	close(j.done)
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
+	m.notify(j)
 }

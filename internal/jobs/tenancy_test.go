@@ -1,0 +1,303 @@
+package jobs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/testutil"
+)
+
+var (
+	gateQuotaQ  = testutil.NewGateBackend("jobs-gate-quota-queued")
+	gateQuotaR  = testutil.NewGateBackend("jobs-gate-quota-running")
+	gateObserve = testutil.NewGateBackend("jobs-gate-observe")
+	gateHammer  = testutil.NewGateBackend("jobs-gate-hammer")
+)
+
+func init() {
+	engine.Register(gateQuotaQ)
+	engine.Register(gateQuotaR)
+	engine.Register(gateObserve)
+	engine.Register(gateHammer)
+}
+
+// TestQueuedQuota: the per-tenant queued bound rejects only the
+// offending tenant, dedup joins never count against it, and cancelling
+// a queued job frees the slot.
+func TestQueuedQuota(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	gateQuotaQ.Reset()
+	m := NewManager(Config{QueueDepth: 16, Concurrency: 1, QuotaQueued: 2})
+	defer m.Close()
+
+	// Occupy the single runner so later submissions stay queued.
+	running, _, err := m.SubmitAs("alice", gatedSpec("jobs-gate-quota-queued", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID(), StateRunning)
+
+	q1, _, err := m.SubmitAs("alice", gatedSpec("jobs-gate-quota-queued", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.SubmitAs("alice", gatedSpec("jobs-gate-quota-queued", 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Two queued jobs: alice is at her quota.
+	if _, _, err := m.SubmitAs("alice", gatedSpec("jobs-gate-quota-queued", 4)); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("third queued submit = %v, want ErrQuotaExceeded", err)
+	}
+	// Joining an existing job via dedup is free even at the quota.
+	if _, deduped, err := m.SubmitAs("alice", gatedSpec("jobs-gate-quota-queued", 2)); err != nil || !deduped {
+		t.Fatalf("dedup join at quota = deduped %v, err %v", deduped, err)
+	}
+	// Another tenant is unaffected.
+	if _, _, err := m.SubmitAs("bob", gatedSpec("jobs-gate-quota-queued", 5)); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	// Cancelling one of alice's queued jobs frees her slot.
+	if err := m.Cancel(q1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, q1.ID(), StateCancelled)
+	if _, _, err := m.SubmitAs("alice", gatedSpec("jobs-gate-quota-queued", 6)); err != nil {
+		t.Fatalf("submit after cancelling a queued job = %v; cancel must free the quota slot", err)
+	}
+
+	gateQuotaQ.Release()
+}
+
+// TestRunningQuota: with two runners but a running quota of one, a
+// tenant's second job waits while another tenant's job is claimed past
+// it, and starts once the first finishes.
+func TestRunningQuota(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	gateQuotaR.Reset()
+	m := NewManager(Config{QueueDepth: 16, Concurrency: 2, QuotaRunning: 1})
+	defer m.Close()
+
+	a1, _, err := m.SubmitAs("alice", gatedSpec("jobs-gate-quota-running", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, a1.ID(), StateRunning)
+	a2, _, err := m.SubmitAs("alice", gatedSpec("jobs-gate-quota-running", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _, err := m.SubmitAs("bob", gatedSpec("jobs-gate-quota-running", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bob's job overtakes alice's quota-blocked one for the idle runner.
+	waitState(t, m, b1.ID(), StateRunning)
+	// Alice's second job must still be queued: her quota is 1.
+	if snap := a2.Snapshot(); snap.State != StateQueued {
+		t.Fatalf("second alice job is %s while the first runs, want queued", snap.State)
+	}
+
+	gateQuotaR.Release()
+	waitState(t, m, a1.ID(), StateDone)
+	// With the first done, the blocked job gets claimed and completes.
+	waitState(t, m, a2.ID(), StateDone)
+	waitState(t, m, b1.ID(), StateDone)
+}
+
+// recordingObserver captures lifecycle notifications for assertions.
+type recordingObserver struct {
+	mu        sync.Mutex
+	submitted []Snapshot
+	moves     []Snapshot
+}
+
+func (r *recordingObserver) JobSubmitted(_ engine.CampaignSpec, snap Snapshot) {
+	r.mu.Lock()
+	r.submitted = append(r.submitted, snap)
+	r.mu.Unlock()
+}
+
+func (r *recordingObserver) JobTransition(snap Snapshot) {
+	r.mu.Lock()
+	r.moves = append(r.moves, snap)
+	r.mu.Unlock()
+}
+
+// TestObserverLifecycle: the observer sees exactly one submit (in state
+// queued) before any transition, then running, then the terminal state,
+// for every path to termination (done, cancelled-queued, closed).
+func TestObserverLifecycle(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	gateObserve.Reset()
+	rec := &recordingObserver{}
+	m := NewManager(Config{Concurrency: 1, Observer: rec})
+	defer m.Close()
+
+	j, _, err := m.SubmitAs("alice", gatedSpec("jobs-gate-observe", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID(), StateRunning)
+	queued, _, err := m.SubmitAs("alice", gatedSpec("jobs-gate-observe", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	gateObserve.Release()
+	waitState(t, m, j.ID(), StateDone)
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.submitted) != 2 {
+		t.Fatalf("observer saw %d submissions, want 2", len(rec.submitted))
+	}
+	for _, s := range rec.submitted {
+		if s.State != StateQueued || s.Tenant != "alice" {
+			t.Fatalf("submit notification = state %s tenant %q, want queued/alice", s.State, s.Tenant)
+		}
+	}
+	perJob := map[string][]State{}
+	for _, s := range rec.moves {
+		perJob[s.ID] = append(perJob[s.ID], s.State)
+	}
+	if got := perJob[j.ID()]; len(got) != 2 || got[0] != StateRunning || got[1] != StateDone {
+		t.Fatalf("completed job transitions = %v, want [running done]", got)
+	}
+	if got := perJob[queued.ID()]; len(got) != 1 || got[0] != StateCancelled {
+		t.Fatalf("queued-cancelled job transitions = %v, want [cancelled]", got)
+	}
+}
+
+// TestRestore: terminal snapshots come back as-is without executing,
+// live snapshots re-enqueue and run again, and the ID sequence advances
+// past restored IDs so new jobs never collide.
+func TestRestore(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	m := NewManager(Config{Concurrency: 1})
+	defer m.Close()
+
+	spec := gatedSpec("", 31) // ungated sim backend
+	started := time.Date(2026, 8, 1, 10, 0, 0, 0, time.UTC)
+	finished := started.Add(time.Minute)
+	term := Snapshot{
+		ID: "j7", Tenant: "alice", State: StateFailed, Completed: 2,
+		Error: "backend exploded", CreatedAt: started,
+		StartedAt: &started, FinishedAt: &finished,
+	}
+	j, err := m.Restore(spec, term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := j.Snapshot()
+	if snap.State != StateFailed || snap.Error != "backend exploded" || snap.Tenant != "alice" {
+		t.Fatalf("restored terminal snapshot = %+v", snap)
+	}
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("restored terminal job's Done channel is open")
+	}
+	if _, err := m.Restore(spec, term); err == nil {
+		t.Fatal("duplicate restore accepted")
+	}
+	if _, err := m.Restore(spec, Snapshot{State: StateQueued}); err == nil {
+		t.Fatal("restore without an ID accepted")
+	}
+
+	// A live (queued-at-crash) snapshot re-runs to completion.
+	live := Snapshot{ID: "j9", Tenant: "bob", State: StateRunning, CreatedAt: started}
+	spec2 := gatedSpec("", 32)
+	j2, err := m.Restore(spec2, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j2.ID(), StateDone)
+	if got := j2.Snapshot(); got.Tenant != "bob" || !got.CreatedAt.Equal(started) {
+		t.Fatalf("re-enqueued job lost identity: %+v", got)
+	}
+
+	// New submissions allocate past the highest restored ID.
+	fresh, _, err := m.Submit(gatedSpec("", 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID() == "j7" || fresh.ID() == "j9" {
+		t.Fatalf("fresh job reused a restored ID %s", fresh.ID())
+	}
+	waitState(t, m, fresh.ID(), StateDone)
+	if s := m.Stats(); s.Done != 2 || s.Failed != 1 {
+		t.Fatalf("stats after restore = %+v, want 2 done / 1 failed", s)
+	}
+}
+
+// TestSubmitCancelCloseRace hammers Submit/SubmitAs/Cancel concurrently
+// with Close: every Submit must either succeed or return a specific
+// sentinel (never a torn state), and after Close every accepted job is
+// terminal. Run with -race this covers the Close-vs-Submit surface.
+func TestSubmitCancelCloseRace(t *testing.T) {
+	gateHammer.Reset()
+	gateHammer.Release() // runs complete instantly; churn comes from the callers
+	m := NewManager(Config{QueueDepth: 8, Concurrency: 2, QuotaQueued: 4})
+
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		ids []string
+	)
+	tenants := []string{"", "alice", "bob"}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				spec := gatedSpec("jobs-gate-hammer", uint64(g*1000+i))
+				j, _, err := m.SubmitAs(tenants[(g+i)%len(tenants)], spec)
+				switch {
+				case err == nil:
+					mu.Lock()
+					ids = append(ids, j.ID())
+					mu.Unlock()
+					if i%3 == 0 {
+						_ = m.Cancel(j.ID())
+					}
+				case errors.Is(err, ErrClosed),
+					errors.Is(err, ErrQueueFull),
+					errors.Is(err, ErrQuotaExceeded):
+					// expected under churn
+				default:
+					t.Errorf("Submit returned unexpected error: %v", err)
+				}
+			}
+		}(g)
+	}
+	// Close concurrently with the submitters.
+	time.Sleep(5 * time.Millisecond)
+	closed := make(chan struct{})
+	go func() {
+		m.Close()
+		close(closed)
+	}()
+	wg.Wait()
+	<-closed
+	m.Close() // idempotent
+
+	if _, _, err := m.Submit(gatedSpec("jobs-gate-hammer", 999999)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, id := range ids {
+		j, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("accepted job %s vanished: %v", id, err)
+		}
+		if snap := j.Snapshot(); !snap.State.Terminal() {
+			t.Fatalf("job %s left in %s after Close", id, snap.State)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package recur schedules recurring campaign submissions: a registered
+// spec is resubmitted to the job manager on a fixed interval with
+// optional jitter. The scheduler never executes anything itself — each
+// tick is an ordinary submission, so deduplication, quotas and the
+// content-addressed store apply unchanged. In particular an unchanged
+// recurring spec hashes to the same key every tick, making every
+// resubmission after the first a pure cache hit with zero backend runs:
+// recurrence is a liveness property ("this result stays fresh and
+// auditable"), never a source of new bytes.
+//
+// Lifecycle mirrors the daemon's: Start launches one goroutine per
+// schedule, Stop cancels them all and waits. Persistence is delegated
+// through the OnChange hook (the daemon journals add/delete records)
+// and Restore (journal replay re-registers surviving schedules under
+// their original IDs).
+package recur
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Errors reported by the scheduler.
+var (
+	// ErrNotFound reports an unknown schedule ID.
+	ErrNotFound = errors.New("recur: no such schedule")
+	// ErrClosed rejects registrations after Stop.
+	ErrClosed = errors.New("recur: scheduler stopped")
+)
+
+// Duration marshals as a Go duration string ("90s", "1h30m") and
+// unmarshals from either that form or a bare number of seconds — the
+// wire type of the /v1/schedules interval fields.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "30s"-style strings and numeric seconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("recur: bad duration %q: %v", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return err
+	}
+	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// Schedule is one recurring registration, shaped for the /v1/schedules
+// wire (the Spec is echoed back so a GET round-trips the registration).
+type Schedule struct {
+	ID       string              `json:"id"`
+	Tenant   string              `json:"tenant,omitempty"`
+	Hash     string              `json:"hash"`
+	Spec     engine.CampaignSpec `json:"spec"`
+	Interval Duration            `json:"interval"`
+	Jitter   Duration            `json:"jitter,omitempty"`
+
+	CreatedAt time.Time `json:"created_at"`
+	// Submissions counts ticks that reached the job manager since this
+	// process started (not persisted across restarts).
+	Submissions int64 `json:"submissions"`
+	// LastJob is the job ID of the most recent successful submission.
+	LastJob string `json:"last_job,omitempty"`
+	// LastError is the most recent submission failure, cleared by the
+	// next success.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Op tags an OnChange notification.
+type Op string
+
+// OnChange operations.
+const (
+	OpAdd    Op = "add"
+	OpDelete Op = "delete"
+)
+
+// SubmitFunc submits one spec on behalf of tenant, returning the job
+// ID. Every scheduler tick goes through it.
+type SubmitFunc func(tenant string, spec engine.CampaignSpec) (jobID string, err error)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Submit handles each tick's submission. Required.
+	Submit SubmitFunc
+	// MinInterval floors schedule intervals (registration with a
+	// smaller one fails). 0 selects 1s.
+	MinInterval time.Duration
+	// OnChange, when non-nil, observes successful Add and Remove calls
+	// — the daemon's journal hook. Called synchronously without
+	// scheduler locks held; Restore never triggers it.
+	OnChange func(op Op, s Schedule)
+}
+
+// Scheduler owns the schedule table and the per-schedule tick
+// goroutines.
+type Scheduler struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []string // registration order for List
+	seq     int
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+	stopAll chan struct{}
+}
+
+type entry struct {
+	sched Schedule
+	stop  chan struct{} // closed by Remove
+}
+
+// New returns a scheduler; call Start to begin ticking and Stop to shut
+// down.
+func New(cfg Config) *Scheduler {
+	if cfg.Submit == nil {
+		panic("recur: Config.Submit is required")
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = time.Second
+	}
+	return &Scheduler{cfg: cfg, entries: make(map[string]*entry), stopAll: make(chan struct{})}
+}
+
+// Add registers a spec for recurring submission and (when the scheduler
+// is started) begins ticking it. The first submission happens one
+// interval after registration, not immediately — the registering client
+// typically just submitted the spec itself.
+func (s *Scheduler) Add(tenant string, spec engine.CampaignSpec, interval, jitter time.Duration) (Schedule, error) {
+	if err := spec.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return Schedule{}, err
+	}
+	if interval < s.cfg.MinInterval {
+		return Schedule{}, fmt.Errorf("recur: interval %s below minimum %s", interval, s.cfg.MinInterval)
+	}
+	if jitter < 0 {
+		return Schedule{}, fmt.Errorf("recur: negative jitter")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Schedule{}, ErrClosed
+	}
+	s.seq++
+	e := &entry{
+		sched: Schedule{
+			ID: fmt.Sprintf("s%d", s.seq), Tenant: tenant, Hash: hash, Spec: spec,
+			Interval: Duration(interval), Jitter: Duration(jitter), CreatedAt: time.Now(),
+		},
+		stop: make(chan struct{}),
+	}
+	s.entries[e.sched.ID] = e
+	s.order = append(s.order, e.sched.ID)
+	snap := e.sched
+	if s.started {
+		s.wg.Add(1)
+		go s.loop(e)
+	}
+	s.mu.Unlock()
+	if s.cfg.OnChange != nil {
+		s.cfg.OnChange(OpAdd, snap)
+	}
+	return snap, nil
+}
+
+// Restore re-registers a journaled schedule under its original ID
+// without notifying OnChange (the journal already has it). The ID
+// sequence advances past restored IDs so new registrations never
+// collide.
+func (s *Scheduler) Restore(sched Schedule) error {
+	if err := sched.Spec.Validate(); err != nil {
+		return err
+	}
+	hash, err := sched.Spec.Hash()
+	if err != nil {
+		return err
+	}
+	if sched.ID == "" {
+		return fmt.Errorf("recur: restore: schedule without id")
+	}
+	if time.Duration(sched.Interval) < s.cfg.MinInterval {
+		sched.Interval = Duration(s.cfg.MinInterval)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.entries[sched.ID]; dup {
+		return fmt.Errorf("recur: restore: schedule %q already exists", sched.ID)
+	}
+	var n int
+	if _, err := fmt.Sscanf(sched.ID, "s%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+	sched.Hash = hash
+	sched.Submissions, sched.LastJob, sched.LastError = 0, "", ""
+	if sched.CreatedAt.IsZero() {
+		sched.CreatedAt = time.Now()
+	}
+	e := &entry{sched: sched, stop: make(chan struct{})}
+	s.entries[sched.ID] = e
+	s.order = append(s.order, sched.ID)
+	if s.started {
+		s.wg.Add(1)
+		go s.loop(e)
+	}
+	return nil
+}
+
+// Remove deletes a schedule and stops its ticks.
+func (s *Scheduler) Remove(id string) error {
+	s.mu.Lock()
+	e, ok := s.entries[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(s.entries, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	close(e.stop)
+	snap := e.sched
+	s.mu.Unlock()
+	if s.cfg.OnChange != nil {
+		s.cfg.OnChange(OpDelete, snap)
+	}
+	return nil
+}
+
+// Get returns one schedule's current state.
+func (s *Scheduler) Get(id string) (Schedule, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return Schedule{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return e.sched, nil
+}
+
+// List snapshots every schedule in registration order.
+func (s *Scheduler) List() []Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Schedule, 0, len(s.entries))
+	for _, id := range s.order {
+		out = append(out, s.entries[id].sched)
+	}
+	return out
+}
+
+// ListTenant snapshots one tenant's schedules in registration order.
+func (s *Scheduler) ListTenant(tenant string) []Schedule {
+	all := s.List()
+	out := all[:0]
+	for _, sched := range all {
+		if sched.Tenant == tenant {
+			out = append(out, sched)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CreatedAt.Before(out[j].CreatedAt) })
+	return out
+}
+
+// Start launches the tick goroutines for every registered schedule.
+// Idempotent; schedules added later start ticking immediately.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	for _, e := range s.entries {
+		s.wg.Add(1)
+		go s.loop(e)
+	}
+}
+
+// Stop halts all ticking, waits for in-flight ticks to finish and
+// rejects further registrations. Safe to call more than once.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.stopAll)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// loop ticks one schedule until it is removed or the scheduler stops.
+func (s *Scheduler) loop(e *entry) {
+	defer s.wg.Done()
+	for {
+		d := time.Duration(e.sched.Interval)
+		if j := time.Duration(e.sched.Jitter); j > 0 {
+			d += time.Duration(rand.Int63n(int64(j) + 1))
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-s.stopAll:
+			t.Stop()
+			return
+		case <-e.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		jobID, err := s.cfg.Submit(e.sched.Tenant, e.sched.Spec)
+		s.mu.Lock()
+		if err != nil {
+			e.sched.LastError = err.Error()
+		} else {
+			e.sched.Submissions++
+			e.sched.LastJob = jobID
+			e.sched.LastError = ""
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,256 @@
+package recur
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func testSpec(seed uint64) engine.CampaignSpec {
+	return engine.CampaignSpec{
+		Techniques:   []string{"FAC2"},
+		Ns:           []int64{64},
+		Ps:           []int{2},
+		Workload:     workload.Spec{Kind: "constant", P1: 1},
+		H:            0.5,
+		Replications: 2,
+		Seed:         seed,
+	}
+}
+
+// countingSubmit returns a SubmitFunc tallying calls per tenant.
+func countingSubmit() (SubmitFunc, *atomic.Int64) {
+	var n atomic.Int64
+	return func(tenant string, spec engine.CampaignSpec) (string, error) {
+		return fmt.Sprintf("j%d", n.Add(1)), nil
+	}, &n
+}
+
+// TestAddTickRemove: a started scheduler ticks a schedule repeatedly,
+// Remove stops it, and the schedule's runtime stats track submissions.
+func TestAddTickRemove(t *testing.T) {
+	submit, count := countingSubmit()
+	s := New(Config{Submit: submit, MinInterval: time.Millisecond})
+	defer s.Stop()
+	s.Start()
+
+	sched, err := s.Add("alice", testSpec(1), 5*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.ID == "" || sched.Hash == "" {
+		t.Fatalf("schedule missing identity: %+v", sched)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for count.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d submissions before deadline", count.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got, err := s.Get(sched.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Submissions < 3 || got.LastJob == "" {
+		t.Fatalf("schedule stats not tracking: %+v", got)
+	}
+
+	if err := s.Remove(sched.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(sched.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Remove = %v, want ErrNotFound", err)
+	}
+	at := count.Load()
+	time.Sleep(30 * time.Millisecond)
+	if count.Load() != at {
+		t.Fatalf("removed schedule kept ticking: %d -> %d", at, count.Load())
+	}
+	if err := s.Remove(sched.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Remove = %v, want ErrNotFound", err)
+	}
+}
+
+// TestStartStopLifecycle: Stop halts ticking, is idempotent, and
+// rejects later registrations; Add before Start defers ticking until
+// Start.
+func TestStartStopLifecycle(t *testing.T) {
+	submit, count := countingSubmit()
+	s := New(Config{Submit: submit, MinInterval: time.Millisecond})
+
+	if _, err := s.Add("", testSpec(2), 3*time.Millisecond, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if count.Load() != 0 {
+		t.Fatalf("schedule ticked %d times before Start", count.Load())
+	}
+
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for count.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no tick after Start")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.Stop()
+	at := count.Load()
+	time.Sleep(20 * time.Millisecond)
+	if count.Load() != at {
+		t.Fatalf("scheduler ticked after Stop: %d -> %d", at, count.Load())
+	}
+	s.Stop() // idempotent
+	if _, err := s.Add("", testSpec(3), time.Second, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Add after Stop = %v, want ErrClosed", err)
+	}
+	if err := s.Restore(Schedule{ID: "s9", Spec: testSpec(3), Interval: Duration(time.Second)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Restore after Stop = %v, want ErrClosed", err)
+	}
+}
+
+// TestValidation: interval floor, bad specs and negative jitter are
+// rejected at registration.
+func TestValidation(t *testing.T) {
+	submit, _ := countingSubmit()
+	s := New(Config{Submit: submit}) // default 1s floor
+	defer s.Stop()
+
+	if _, err := s.Add("", testSpec(4), 10*time.Millisecond, 0); err == nil {
+		t.Fatal("interval below the floor accepted")
+	}
+	if _, err := s.Add("", testSpec(4), time.Second, -time.Second); err == nil {
+		t.Fatal("negative jitter accepted")
+	}
+	bad := testSpec(4)
+	bad.Replications = 0
+	if _, err := s.Add("", bad, time.Second, 0); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// TestRestoreAndOnChange: Restore keeps the original ID, advances the
+// sequence, and never fires OnChange; Add/Remove fire it exactly once
+// each.
+func TestRestoreAndOnChange(t *testing.T) {
+	submit, _ := countingSubmit()
+	var mu sync.Mutex
+	var events []string
+	s := New(Config{
+		Submit:      submit,
+		MinInterval: time.Millisecond,
+		OnChange: func(op Op, sched Schedule) {
+			mu.Lock()
+			events = append(events, string(op)+":"+sched.ID)
+			mu.Unlock()
+		},
+	})
+	defer s.Stop()
+
+	if err := s.Restore(Schedule{ID: "s5", Tenant: "bob", Spec: testSpec(5), Interval: Duration(time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(Schedule{ID: "s5", Spec: testSpec(5), Interval: Duration(time.Hour)}); err == nil {
+		t.Fatal("duplicate restore accepted")
+	}
+	added, err := s.Add("alice", testSpec(6), time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added.ID != "s6" {
+		t.Fatalf("Add after Restore(s5) allocated %s, want s6", added.ID)
+	}
+	if err := s.Remove("s5"); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"add:s6", "delete:s5"}
+	if len(events) != 2 || events[0] != want[0] || events[1] != want[1] {
+		t.Fatalf("OnChange events %v, want %v", events, want)
+	}
+
+	if lst := s.ListTenant("alice"); len(lst) != 1 || lst[0].ID != "s6" {
+		t.Fatalf("ListTenant(alice) = %+v", lst)
+	}
+	if lst := s.ListTenant("bob"); len(lst) != 0 {
+		t.Fatalf("ListTenant(bob) after Remove = %+v", lst)
+	}
+}
+
+// TestSubmitErrorRecorded: a failing submission lands in LastError and
+// is cleared by the next success.
+func TestSubmitErrorRecorded(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	var n atomic.Int64
+	s := New(Config{
+		Submit: func(tenant string, spec engine.CampaignSpec) (string, error) {
+			if fail.Load() {
+				return "", errors.New("queue full")
+			}
+			return fmt.Sprintf("j%d", n.Add(1)), nil
+		},
+		MinInterval: time.Millisecond,
+	})
+	defer s.Stop()
+	s.Start()
+	sched, err := s.Add("", testSpec(7), 3*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor := func(pred func(Schedule) bool, what string) Schedule {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			got, err := s.Get(sched.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pred(got) {
+				return got
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s: %+v", what, got)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(func(g Schedule) bool { return g.LastError != "" }, "a recorded error")
+	fail.Store(false)
+	got := waitFor(func(g Schedule) bool { return g.Submissions > 0 }, "a success")
+	if got.LastError != "" {
+		t.Fatalf("success did not clear LastError: %+v", got)
+	}
+}
+
+// TestDurationJSON: the wire form round-trips strings and accepts
+// numeric seconds.
+func TestDurationJSON(t *testing.T) {
+	b, err := json.Marshal(Duration(90 * time.Second))
+	if err != nil || string(b) != `"1m30s"` {
+		t.Fatalf("Marshal = %s, %v", b, err)
+	}
+	var d Duration
+	if err := json.Unmarshal([]byte(`"250ms"`), &d); err != nil || time.Duration(d) != 250*time.Millisecond {
+		t.Fatalf("Unmarshal string = %v, %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`2.5`), &d); err != nil || time.Duration(d) != 2500*time.Millisecond {
+		t.Fatalf("Unmarshal number = %v, %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`"soon"`), &d); err == nil {
+		t.Fatal("bad duration string accepted")
+	}
+}

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/campaign"
+	"repro/internal/engine"
+	"repro/internal/jobs"
+	"repro/internal/mw"
+	"repro/internal/recur"
+	"repro/internal/testutil"
+)
+
+var gateQuota = testutil.NewGateBackend("svc-gate-quota")
+
+func init() {
+	engine.Register(gateQuota)
+}
+
+// authedDo issues a request with an API key attached.
+func authedDo(t *testing.T, base, key, method, path string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func envelopeCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var env campaign.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("decode envelope %q: %v", body, err)
+	}
+	return env.Error.Code
+}
+
+// TestScheduleRoutes drives the /v1/schedules surface end to end behind
+// the auth middleware: registration, tenant-scoped listing, cross-tenant
+// invisibility, validation failures, and delete-returns-the-entry.
+func TestScheduleRoutes(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	mgr := jobs.NewManager(jobs.Config{QueueDepth: 8, Concurrency: 1})
+	defer mgr.Close()
+	sched := recur.New(recur.Config{
+		Submit: func(tenant string, spec engine.CampaignSpec) (string, error) {
+			job, _, err := mgr.SubmitAs(tenant, spec)
+			if err != nil {
+				return "", err
+			}
+			return job.ID(), nil
+		},
+	})
+	defer sched.Stop()
+
+	keys := mw.NewKeyring(map[string]string{"alice": "a-key", "bob": "b-key"})
+	svc := New(mgr)
+	svc.SetScheduler(sched)
+	srv := httptest.NewServer(mw.Chain(svc.Handler(), mw.Auth(keys, nil)))
+	defer srv.Close()
+
+	body := func(interval string, reps int) []byte {
+		return []byte(fmt.Sprintf(`{"spec": %s, "interval": %q}`,
+			specJSON(t, "svc-gate-quota", 1, reps), interval))
+	}
+
+	// Register as alice.
+	code, resp := authedDo(t, srv.URL, "a-key", http.MethodPost, "/v1/schedules", body("1h", 3))
+	if code != http.StatusCreated {
+		t.Fatalf("schedule add = %d: %s", code, resp)
+	}
+	var created recur.Schedule
+	if err := json.Unmarshal(resp, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.ID == "" || created.Tenant != "alice" || created.Hash == "" {
+		t.Fatalf("created schedule = %+v", created)
+	}
+
+	// Interval below the scheduler floor and an invalid spec are
+	// distinguishable failures.
+	if code, resp := authedDo(t, srv.URL, "a-key", http.MethodPost, "/v1/schedules", body("10ms", 3)); code != http.StatusBadRequest || envelopeCode(t, resp) != campaign.CodeInvalidArgument {
+		t.Fatalf("tiny interval = %d %s", code, resp)
+	}
+	if code, resp := authedDo(t, srv.URL, "a-key", http.MethodPost, "/v1/schedules", body("1h", 0)); code != http.StatusBadRequest || envelopeCode(t, resp) != campaign.CodeInvalidSpec {
+		t.Fatalf("invalid spec = %d %s", code, resp)
+	}
+
+	// Listing is tenant-scoped; bob sees nothing.
+	var listed struct {
+		Schedules []recur.Schedule `json:"schedules"`
+	}
+	code, resp = authedDo(t, srv.URL, "a-key", http.MethodGet, "/v1/schedules", nil)
+	if err := json.Unmarshal(resp, &listed); err != nil || code != http.StatusOK {
+		t.Fatalf("list = %d: %s (%v)", code, resp, err)
+	}
+	if len(listed.Schedules) != 1 || listed.Schedules[0].ID != created.ID {
+		t.Fatalf("alice's list = %+v", listed.Schedules)
+	}
+	code, resp = authedDo(t, srv.URL, "b-key", http.MethodGet, "/v1/schedules", nil)
+	if err := json.Unmarshal(resp, &listed); err != nil || code != http.StatusOK {
+		t.Fatalf("bob list = %d: %s (%v)", code, resp, err)
+	}
+	if len(listed.Schedules) != 0 {
+		t.Fatalf("bob sees alice's schedules: %+v", listed.Schedules)
+	}
+
+	// Foreign and unknown IDs are both opaque 404s.
+	if code, resp := authedDo(t, srv.URL, "b-key", http.MethodGet, "/v1/schedules/"+created.ID, nil); code != http.StatusNotFound || envelopeCode(t, resp) != campaign.CodeNotFound {
+		t.Fatalf("cross-tenant get = %d %s", code, resp)
+	}
+	if code, _ := authedDo(t, srv.URL, "b-key", http.MethodDelete, "/v1/schedules/"+created.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("cross-tenant delete = %d", code)
+	}
+	if code, _ := authedDo(t, srv.URL, "a-key", http.MethodGet, "/v1/schedules/zzz", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown id = %d", code)
+	}
+
+	// The owner's delete returns the removed entry.
+	code, resp = authedDo(t, srv.URL, "a-key", http.MethodDelete, "/v1/schedules/"+created.ID, nil)
+	var removed recur.Schedule
+	if err := json.Unmarshal(resp, &removed); err != nil || code != http.StatusOK || removed.ID != created.ID {
+		t.Fatalf("delete = %d: %s (%v)", code, resp, err)
+	}
+	if code, _ := authedDo(t, srv.URL, "a-key", http.MethodGet, "/v1/schedules/"+created.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted schedule still visible: %d", code)
+	}
+}
+
+// TestScheduleRoutesAbsentWithoutScheduler: a server without
+// SetScheduler answers 404 on the whole /v1/schedules surface.
+func TestScheduleRoutesAbsentWithoutScheduler(t *testing.T) {
+	mgr := jobs.NewManager(jobs.Config{QueueDepth: 2, Concurrency: 1})
+	defer mgr.Close()
+	srv := httptest.NewServer(New(mgr).Handler())
+	defer srv.Close()
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodPost, "/v1/schedules"},
+		{http.MethodGet, "/v1/schedules"},
+		{http.MethodGet, "/v1/schedules/s1"},
+		{http.MethodDelete, "/v1/schedules/s1"},
+	} {
+		if code, _ := authedDo(t, srv.URL, "", probe.method, probe.path, nil); code != http.StatusNotFound {
+			t.Fatalf("%s %s without scheduler = %d, want 404", probe.method, probe.path, code)
+		}
+	}
+}
+
+// TestSubmitQuotaAndAuthMapping: over-quota submissions surface as 403
+// quota_exceeded envelopes, bad keys as 401 unauthorized, and the
+// rate limiter as 429 with a Retry-After header — the full middleware
+// chain over the real service handler.
+func TestSubmitQuotaAndAuthMapping(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	gateQuota.Reset()
+	mgr := jobs.NewManager(jobs.Config{QueueDepth: 8, Concurrency: 1, QuotaQueued: 1})
+	keys := mw.NewKeyring(map[string]string{"alice": "a-key"})
+	// Burst of exactly 3 with negligible refill: alice's three submits
+	// pass the limiter (the third reaching the quota check), then the
+	// bucket is dry.
+	lim := mw.NewLimiter(0.01, 3)
+	srv := httptest.NewServer(mw.Chain(New(mgr).Handler(),
+		mw.Auth(keys, nil), mw.RateLimit(lim, nil)))
+	defer func() {
+		srv.Close()
+		gateQuota.Release()
+		mgr.Close()
+	}()
+
+	// No key → 401 before the handler runs.
+	if code, resp := authedDo(t, srv.URL, "", http.MethodPost, "/v1/jobs", specJSON(t, "svc-gate-quota", 1, 1)); code != http.StatusUnauthorized || envelopeCode(t, resp) != campaign.CodeUnauthorized {
+		t.Fatalf("anonymous submit = %d %s", code, resp)
+	}
+
+	// First job occupies the single worker (gated backend), second
+	// fills alice's queued quota of one, third is rejected 403.
+	if code, resp := authedDo(t, srv.URL, "a-key", http.MethodPost, "/v1/jobs", specJSON(t, "svc-gate-quota", 1, 1)); code != http.StatusAccepted {
+		t.Fatalf("first submit = %d %s", code, resp)
+	}
+	waitRunning := time.Now().Add(5 * time.Second)
+	for gateQuota.Started.Load() == 0 {
+		if time.Now().After(waitRunning) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, resp := authedDo(t, srv.URL, "a-key", http.MethodPost, "/v1/jobs", specJSON(t, "svc-gate-quota", 2, 1)); code != http.StatusAccepted {
+		t.Fatalf("second submit = %d %s", code, resp)
+	}
+	code, resp := authedDo(t, srv.URL, "a-key", http.MethodPost, "/v1/jobs", specJSON(t, "svc-gate-quota", 3, 1))
+	if code != http.StatusForbidden || envelopeCode(t, resp) != campaign.CodeQuotaExceeded {
+		t.Fatalf("over-quota submit = %d %s", code, resp)
+	}
+
+	// The burst is spent; the next request rate-limits with a
+	// Retry-After hint.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs", nil)
+	req.Header.Set("Authorization", "Bearer a-key")
+	last, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer last.Body.Close()
+	body, _ := io.ReadAll(last.Body)
+	if last.StatusCode != http.StatusTooManyRequests || envelopeCode(t, body) != campaign.CodeRateLimited {
+		t.Fatalf("dry bucket = %d %s", last.StatusCode, body)
+	}
+	if last.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+}

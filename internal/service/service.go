@@ -10,7 +10,16 @@
 //	GET    /v1/jobs/{id}          one job's status; ?wait=1 blocks until terminal
 //	GET    /v1/jobs/{id}/results  stream results as JSON Lines or CSV
 //	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	POST   /v1/schedules          register a recurring campaign (spec + interval + jitter)
+//	GET    /v1/schedules          list the caller's schedules
+//	GET    /v1/schedules/{id}     one schedule's status and tick statistics
+//	DELETE /v1/schedules/{id}     remove a schedule (returns the removed entry)
 //	GET    /healthz               liveness probe
+//
+// The /v1/schedules routes exist only when a recurring-campaign
+// scheduler is attached via SetScheduler (the daemon's -schedules
+// mode); otherwise they answer 404. Schedules are tenant-scoped: a
+// caller only ever sees and deletes its own.
 //
 // Every error response is a structured JSON envelope
 //
@@ -36,16 +45,20 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/campaign"
 	"repro/internal/engine"
 	"repro/internal/jobs"
+	"repro/internal/mw"
+	"repro/internal/recur"
 )
 
 // Server routes HTTP requests to a job manager.
 type Server struct {
-	mgr  *jobs.Manager
-	exec *campaign.Execution
+	mgr   *jobs.Manager
+	exec  *campaign.Execution
+	sched *recur.Scheduler
 }
 
 // New returns a server fronting the given manager.
@@ -55,6 +68,11 @@ func New(mgr *jobs.Manager) *Server { return &Server{mgr: mgr} }
 // (CPU count, worker pool, chunk size) to the GET /v1 description.
 // Informational only; call before Handler is served.
 func (s *Server) SetExecution(e campaign.Execution) { s.exec = &e }
+
+// SetScheduler enables the /v1/schedules routes backed by the given
+// recurring-campaign scheduler. Call before Handler is served; without
+// it the routes answer 404.
+func (s *Server) SetScheduler(sc *recur.Scheduler) { s.sched = sc }
 
 // Handler builds the service's route table.
 func (s *Server) Handler() http.Handler {
@@ -69,6 +87,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.results)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	if s.sched != nil {
+		mux.HandleFunc("POST /v1/schedules", s.scheduleAdd)
+		mux.HandleFunc("GET /v1/schedules", s.scheduleList)
+		mux.HandleFunc("GET /v1/schedules/{id}", s.scheduleGet)
+		mux.HandleFunc("DELETE /v1/schedules/{id}", s.scheduleDelete)
+	}
 	return mux
 }
 
@@ -128,10 +152,13 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 			"decode campaign spec: %v", err)
 		return
 	}
-	job, deduped, err := s.mgr.Submit(spec)
+	job, deduped, err := s.mgr.SubmitAs(tenantOf(r), spec)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, campaign.CodeQueueFull, nil, "%v", err)
+		return
+	case errors.Is(err, jobs.ErrQuotaExceeded):
+		writeError(w, http.StatusForbidden, campaign.CodeQuotaExceeded, nil, "%v", err)
 		return
 	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, campaign.CodeShuttingDown, nil, "%v", err)
@@ -142,6 +169,16 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, submitResponse{Snapshot: job.Snapshot(), Deduped: deduped})
+}
+
+// tenantOf resolves the request's tenant as the auth middleware
+// established it; "" (untagged) when the request arrived as anonymous,
+// so quota bookkeeping matches direct Manager.Submit calls.
+func tenantOf(r *http.Request) string {
+	if t := mw.TenantFrom(r.Context()); t != mw.Anonymous {
+		return t
+	}
+	return ""
 }
 
 // listResponse is one page of jobs. NextAfter, when set, is the cursor
@@ -270,6 +307,93 @@ func negotiateFormat(r *http.Request) (format string, errStatus int) {
 		// Our encodings were mentioned and every one was refused (q=0).
 		return "", http.StatusNotAcceptable
 	}
+}
+
+// scheduleRequest is the POST /v1/schedules body.
+type scheduleRequest struct {
+	Spec     engine.CampaignSpec `json:"spec"`
+	Interval recur.Duration      `json:"interval"`
+	Jitter   recur.Duration      `json:"jitter,omitempty"`
+}
+
+func (s *Server) scheduleAdd(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req scheduleRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, campaign.CodeInvalidArgument, nil,
+			"decode schedule request: %v", err)
+		return
+	}
+	// Validate the spec before Add so a bad grid reports invalid_spec
+	// (matching POST /v1/jobs) while interval/jitter problems report
+	// invalid_argument below.
+	if err := req.Spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, campaign.CodeInvalidSpec, nil, "%v", err)
+		return
+	}
+	sched, err := s.sched.Add(tenantOf(r), req.Spec,
+		time.Duration(req.Interval), time.Duration(req.Jitter))
+	switch {
+	case errors.Is(err, recur.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, campaign.CodeShuttingDown, nil, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, campaign.CodeInvalidArgument, nil, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sched)
+}
+
+// scheduleListResponse wraps the schedule list for forward-compatible
+// extension.
+type scheduleListResponse struct {
+	Schedules []recur.Schedule `json:"schedules"`
+}
+
+func (s *Server) scheduleList(w http.ResponseWriter, r *http.Request) {
+	list := s.sched.ListTenant(tenantOf(r))
+	if list == nil {
+		list = []recur.Schedule{}
+	}
+	writeJSON(w, http.StatusOK, scheduleListResponse{Schedules: list})
+}
+
+// scheduleFor fetches a schedule the caller owns; foreign and unknown
+// IDs are indistinguishable (both 404) so tenants cannot probe each
+// other's schedule namespace.
+func (s *Server) scheduleFor(w http.ResponseWriter, r *http.Request) (recur.Schedule, bool) {
+	id := r.PathValue("id")
+	sched, err := s.sched.Get(id)
+	if err != nil || sched.Tenant != tenantOf(r) {
+		writeError(w, http.StatusNotFound, campaign.CodeNotFound,
+			map[string]any{"id": id}, "%s: %q", recur.ErrNotFound, id)
+		return recur.Schedule{}, false
+	}
+	return sched, true
+}
+
+func (s *Server) scheduleGet(w http.ResponseWriter, r *http.Request) {
+	sched, ok := s.scheduleFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sched)
+}
+
+func (s *Server) scheduleDelete(w http.ResponseWriter, r *http.Request) {
+	sched, ok := s.scheduleFor(w, r)
+	if !ok {
+		return
+	}
+	if err := s.sched.Remove(sched.ID); err != nil {
+		// Lost a race with a concurrent delete.
+		writeError(w, http.StatusNotFound, campaign.CodeNotFound,
+			map[string]any{"id": sched.ID}, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sched)
 }
 
 // results streams the job's per-run metrics. Query parameters:

@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line from a parsed exposition.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed Prometheus text scrape — the in-repo validator
+// the CI smoke check and integration tests use instead of external
+// tooling.
+type Exposition struct {
+	Samples []ParsedSample
+	Types   map[string]string // family name -> counter|gauge|histogram|...
+}
+
+// Value returns the first sample with the given name whose labels are a
+// superset of want (nil matches any labels).
+func (e *Exposition) Value(name string, want map[string]string) (float64, bool) {
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Has reports whether the metric is present: either declared as a
+// family (# TYPE line — a labeled vec with no series yet still counts
+// as exported) or appearing as a sample.
+func (e *Exposition) Has(name string) bool {
+	if _, ok := e.Types[name]; ok {
+		return true
+	}
+	_, ok := e.Value(name, nil)
+	return ok
+}
+
+// Parse validates data as Prometheus text exposition format and returns
+// the samples. Any malformed line fails the whole parse — this is a
+// conformance check, not a lenient scraper.
+func Parse(data []byte) (*Exposition, error) {
+	e := &Exposition{Types: make(map[string]string)}
+	for i, line := range strings.Split(string(data), "\n") {
+		lineno := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				if len(fields) < 3 || !validName(fields[2]) {
+					return nil, fmt.Errorf("telemetry: line %d: malformed %s comment", lineno, fields[1])
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						return nil, fmt.Errorf("telemetry: line %d: TYPE wants exactly one type", lineno)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return nil, fmt.Errorf("telemetry: line %d: unknown type %q", lineno, fields[3])
+					}
+					e.Types[fields[2]] = fields[3]
+				}
+			}
+			continue // other comments are free-form
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %v", lineno, err)
+		}
+		e.Samples = append(e.Samples, s)
+	}
+	return e, nil
+}
+
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	rest := line
+	// Metric name runs up to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("sample without value: %q", line)
+	}
+	s.Name = rest[:end]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 && len(fields) != 2 { // value [timestamp]
+		return s, fmt.Errorf("expected value after series: %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("invalid sample value %q", fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes a {name="value",...} block, returning the
+// remainder of the line.
+func parseLabels(rest string, out map[string]string) (string, error) {
+	rest = rest[1:] // skip '{'
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			return "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validLabelName(name) {
+			return "", fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return "", fmt.Errorf("label value for %q not quoted", name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return "", fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := rest[0]
+			if c == '"' {
+				rest = rest[1:]
+				break
+			}
+			if c == '\\' {
+				if len(rest) < 2 {
+					return "", fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch rest[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("bad escape \\%c in label %q", rest[1], name)
+				}
+				rest = rest[2:]
+				continue
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		out[name] = val.String()
+		rest = strings.TrimLeft(rest, " \t")
+		if rest != "" && rest[0] == ',' {
+			rest = rest[1:]
+		}
+	}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
