@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/campaign"
+	"repro/internal/telemetry"
 )
 
 // Options tune the coordinator's sharding and fault handling. Every
@@ -43,6 +44,39 @@ type Options struct {
 	// [0, 1]: the actual sleep is uniform in [(1-Jitter)·d, d]. 0
 	// keeps the backoff deterministic.
 	Jitter float64
+	// CleanupTimeout bounds the best-effort remote cleanup RPCs — the
+	// cancel of an abandoned job and the reap of a possible orphan.
+	// 0 means 5s.
+	CleanupTimeout time.Duration
+	// HedgeAfter, when positive, arms straggler hedging: a shard still
+	// unplaced (or unfinished) after this budget is speculatively
+	// re-dispatched on the next eligible node, first completion wins
+	// and the loser is cancelled. Spec-hash dedup plus a shared
+	// content-addressed store make the duplicate nearly free. 0
+	// disables hedging.
+	HedgeAfter time.Duration
+	// PartialResults switches unrecoverable failures from all-or-
+	// nothing to degraded mode: the merge stops at the first shard the
+	// fleet cannot deliver, the sinks keep the byte-identical completed
+	// prefix, and the run's error is a typed *Incomplete report.
+	PartialResults bool
+	// BreakerThreshold is the consecutive node-attributable failures
+	// that open a node's circuit breaker. 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker blocks a node before
+	// allowing a half-open probe attempt. 0 means 2s.
+	BreakerCooldown time.Duration
+	// HealthInterval, when positive, starts a background prober that
+	// polls each node's health endpoint (nodes without one are
+	// skipped): probe failures mark the node down and feed its breaker,
+	// a node advertising drain stops receiving new shards. 0 disables
+	// probing.
+	HealthInterval time.Duration
+	// Registry receives the coordinator's fault-tolerance metrics
+	// (breaker states and transitions, hedge and retry counters). nil
+	// means a private registry; a shared registry must not be given to
+	// two coordinators (duplicate registration panics).
+	Registry *telemetry.Registry
 }
 
 func (o Options) withDefaults(nodes int) Options {
@@ -61,6 +95,15 @@ func (o Options) withDefaults(nodes int) Options {
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = 5 * time.Second
 	}
+	if o.CleanupTimeout <= 0 {
+		o.CleanupTimeout = 5 * time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
 	return o
 }
 
@@ -71,9 +114,19 @@ func (o Options) withDefaults(nodes int) Options {
 // anywhere a node does) and campaign.Executor (the synchronous
 // fan-out + merge fast path campaign.Execute prefers).
 type Coordinator struct {
-	nodes []campaign.Runner
-	opts  Options
-	sems  []chan struct{} // per-node in-flight shard bound
+	nodes  []campaign.Runner
+	opts   Options
+	sems   []chan struct{} // per-node in-flight shard bound
+	brs    []*breaker      // per-node circuit breakers
+	states []*nodeState    // per-node health-pool state
+
+	probeCancel context.CancelFunc
+	probeWG     sync.WaitGroup
+	bg          sync.WaitGroup // hedge losers still cleaning up
+
+	mHedges, mHedgeWins   *telemetry.Counter
+	mRetries, mProbeFails *telemetry.Counter
+	mTransitions          *telemetry.CounterVec
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -104,7 +157,56 @@ func New(nodes []campaign.Runner, opts Options) (*Coordinator, error) {
 	for i := range c.sems {
 		c.sems[i] = make(chan struct{}, c.opts.MaxPerNode)
 	}
+
+	reg := c.opts.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	c.mHedges = reg.Counter("dlsim_fleet_hedges_total", "Hedged shard submissions launched.")
+	c.mHedgeWins = reg.Counter("dlsim_fleet_hedge_wins_total", "Hedged submissions that finished before the primary.")
+	c.mRetries = reg.Counter("dlsim_fleet_shard_retries_total", "Shard placement retry attempts.")
+	c.mProbeFails = reg.Counter("dlsim_fleet_health_probe_failures_total", "Failed node health probes.")
+	c.mTransitions = reg.CounterVec("dlsim_fleet_breaker_transitions_total",
+		"Circuit breaker state transitions, by node index and new state.", "node", "to")
+
+	c.brs = make([]*breaker, len(nodes))
+	c.states = make([]*nodeState, len(nodes))
+	for i := range nodes {
+		ni := strconv.Itoa(i)
+		c.brs[i] = newBreaker(c.opts.BreakerThreshold, c.opts.BreakerCooldown, func(to breakerState) {
+			c.mTransitions.With(ni, to.String()).Inc()
+		})
+		c.states[i] = &nodeState{healthy: true}
+	}
+	reg.GaugeSetFunc("dlsim_fleet_breaker_state",
+		"Per-node circuit breaker state (0 closed, 1 open, 2 half-open).", []string{"node"},
+		func() []telemetry.Sample {
+			out := make([]telemetry.Sample, len(c.brs))
+			for i, b := range c.brs {
+				out[i] = telemetry.Sample{Values: []string{strconv.Itoa(i)}, V: float64(b.current())}
+			}
+			return out
+		})
+
+	if c.opts.HealthInterval > 0 {
+		var pctx context.Context
+		pctx, c.probeCancel = context.WithCancel(context.Background())
+		c.probeWG.Add(1)
+		go c.probeLoop(pctx)
+	}
 	return c, nil
+}
+
+// Close stops the coordinator's background machinery — the health
+// prober and any hedge losers still cleaning up remote state. It does
+// not cancel jobs already submitted.
+func (c *Coordinator) Close() error {
+	if c.probeCancel != nil {
+		c.probeCancel()
+	}
+	c.probeWG.Wait()
+	c.bg.Wait()
+	return nil
 }
 
 // piece is one remote job of a sharded campaign: a single grid point's
@@ -243,6 +345,7 @@ func (c *Coordinator) dispatch(ctx context.Context, p piece, startNode int) (pla
 	rot := 0 // rotation offset; frozen while rate-limited
 	for a := 0; a < c.opts.Attempts; a++ {
 		if a > 0 {
+			c.mRetries.Inc()
 			d := c.backoff(a - 1)
 			if hint := retryAfterHint(last); hint > d {
 				d = hint
@@ -251,14 +354,38 @@ func (c *Coordinator) dispatch(ctx context.Context, p piece, startNode int) (pla
 				break
 			}
 		}
-		ni := ((startNode+rot)%len(c.nodes) + len(c.nodes)) % len(c.nodes)
+		ni, ok := c.pick(startNode + rot)
+		if !ok {
+			// Every node is drained, down, or breaker-blocked right now.
+			// That is a transient fleet condition, not a verdict on the
+			// shard: burn the attempt and back off, so a cooldown expiry
+			// or a recovering probe can reopen a path.
+			last = fmt.Errorf("distrib: shard %d: no eligible node (fleet draining, down, or breaker-open)", p.index)
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
 		if err := c.acquire(ctx, ni); err != nil {
+			c.brs[ni].release()
 			break
 		}
 		pl, err := c.attempt(ctx, ni, p)
 		<-c.sems[ni]
 		if err == nil {
+			c.brs[ni].success()
 			return pl, nil
+		}
+		c.states[ni].note(err)
+		// Only node-attributable failures feed the breaker: a cancelled
+		// context, a per-tenant rate limit, or a job that ran to a
+		// deterministic terminal failure says nothing about node health.
+		var term *errJobTerminal
+		switch {
+		case ctx.Err() != nil, errors.Is(err, campaign.ErrRateLimited), errors.As(err, &term):
+			c.brs[ni].release()
+		default:
+			c.brs[ni].failure()
 		}
 		if !errors.Is(err, campaign.ErrRateLimited) {
 			rot++
@@ -273,6 +400,64 @@ func (c *Coordinator) dispatch(ctx context.Context, p piece, startNode int) (pla
 		last = fmt.Errorf("distrib: shard %d: %w", p.index, ctx.Err())
 	}
 	return placement{}, last
+}
+
+// place is dispatch plus straggler hedging. When HedgeAfter elapses
+// with the primary dispatch still in flight, the shard is speculatively
+// re-dispatched starting from the next node; the first completion wins
+// and the loser's context is cancelled (its dispatcher reaps the
+// remote job on the way out). Hash dedup and the shared store make the
+// duplicate nearly free; either way the shard's bytes are fixed by the
+// spec, so hedging is scheduling-only.
+func (c *Coordinator) place(ctx context.Context, p piece, startNode int) (placement, error) {
+	if c.opts.HedgeAfter <= 0 {
+		return c.dispatch(ctx, p, startNode)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type res struct {
+		pl    placement
+		err   error
+		hedge bool
+	}
+	ch := make(chan res, 2) // buffered: losers never block on send
+	launch := func(start int, hedge bool) {
+		c.bg.Add(1)
+		go func() {
+			defer c.bg.Done()
+			pl, err := c.dispatch(hctx, p, start)
+			ch <- res{pl, err, hedge}
+		}()
+	}
+	launch(startNode, false)
+	launched, finished := 1, 0
+	t := time.NewTimer(c.opts.HedgeAfter)
+	defer t.Stop()
+	var firstErr error
+	for {
+		select {
+		case <-t.C:
+			if launched == 1 && ctx.Err() == nil {
+				c.mHedges.Inc()
+				launch(startNode+1, true)
+				launched = 2
+			}
+		case r := <-ch:
+			finished++
+			if r.err == nil {
+				if r.hedge {
+					c.mHedgeWins.Inc()
+				}
+				return r.pl, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if finished == launched {
+				return placement{}, firstErr
+			}
+		}
+	}
 }
 
 // attempt runs one piece on one node under the per-shard deadline. A
@@ -303,23 +488,31 @@ func (c *Coordinator) attempt(ctx context.Context, ni int, p piece) (placement, 
 	snap, err := node.Wait(actx, jb.ID)
 	if err != nil {
 		if !jb.Deduped {
-			cctx, ccancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			cctx, ccancel := context.WithTimeout(context.WithoutCancel(ctx), c.opts.CleanupTimeout)
 			_ = node.Cancel(cctx, jb.ID)
 			ccancel()
 		}
 		return placement{}, err
 	}
 	if snap.State != campaign.StateDone {
-		return placement{}, fmt.Errorf("job %s ended %s: %s", jb.ID, snap.State, snap.Error)
+		return placement{}, &errJobTerminal{fmt.Errorf("job %s ended %s: %s", jb.ID, snap.State, snap.Error)}
 	}
 	return placement{node: ni, id: jb.ID}, nil
 }
+
+// errJobTerminal marks a job that the node executed to a terminal
+// non-done state — the node did its work; the failure belongs to the
+// campaign, so it must not feed the node's circuit breaker.
+type errJobTerminal struct{ err error }
+
+func (e *errJobTerminal) Error() string { return e.err.Error() }
+func (e *errJobTerminal) Unwrap() error { return e.err }
 
 // reap cancels a possibly orphaned shard job on a node, addressing it
 // by spec hash via submit dedup. Best effort and bounded; used only
 // when an aborted submission may have left a job behind.
 func (c *Coordinator) reap(ctx context.Context, node campaign.Runner, spec campaign.Spec) {
-	rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+	rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), c.opts.CleanupTimeout)
 	defer cancel()
 	jb, err := node.Submit(rctx, spec)
 	if err != nil {
@@ -399,7 +592,7 @@ func (c *Coordinator) run(ctx context.Context, spec campaign.Spec, sinks []campa
 		go func(i int) {
 			defer wg.Done()
 			defer close(done[i])
-			pls[i], errs[i] = c.dispatch(fctx, pieces[i], pieces[i].index)
+			pls[i], errs[i] = c.place(fctx, pieces[i], pieces[i].index)
 			if errs[i] == nil && progress != nil {
 				progress(int64(pieces[i].reps))
 			}
@@ -408,6 +601,12 @@ func (c *Coordinator) run(ctx context.Context, spec campaign.Spec, sinks []campa
 	// Merge in plan order: piece i streams as soon as it and every
 	// earlier piece have completed, while later pieces keep executing —
 	// the merge is a rolling frontier, not a barrier.
+	//
+	// In degraded mode (PartialResults) an unrecoverable shard stops the
+	// frontier instead of discarding it: everything merged so far is the
+	// byte-identical completed prefix, and the error returned is a typed
+	// *Incomplete report built before the remaining dispatchers are
+	// cancelled, so their causes are captured where already known.
 	for i := range pieces {
 		select {
 		case <-done[i]:
@@ -415,9 +614,17 @@ func (c *Coordinator) run(ctx context.Context, spec campaign.Spec, sinks []campa
 			return fctx.Err()
 		}
 		if errs[i] != nil {
+			if c.opts.PartialResults && ctx.Err() == nil {
+				hash, _ := spec.Hash()
+				return error(c.incomplete(hash, pieces, i, errs, done, nil))
+			}
 			return errs[i]
 		}
 		if err := c.streamPiece(fctx, pieces[i], pls[i], sinks); err != nil {
+			if c.opts.PartialResults && ctx.Err() == nil {
+				hash, _ := spec.Hash()
+				return error(c.incomplete(hash, pieces, i, errs, done, err))
+			}
 			return err
 		}
 	}
@@ -434,7 +641,17 @@ func (c *Coordinator) Execute(ctx context.Context, spec campaign.Spec, opts camp
 		return nil, campaign.CloseSinks(err, opts.Sinks...)
 	}
 	sinks := append([]campaign.Sink{agg}, opts.Sinks...)
-	if err := campaign.CloseSinks(c.run(ctx, spec, sinks, nil), sinks...); err != nil {
+	runErr := c.run(ctx, spec, sinks, nil)
+	var inc *Incomplete
+	if errors.As(runErr, &inc) {
+		// Degraded mode: flush the caller's sinks so the completed
+		// prefix they hold survives, but skip the aggregator — its
+		// Close validates completeness, and an incomplete campaign has
+		// no validated Result. The *Incomplete travels as the error.
+		_ = campaign.CloseSinks(nil, opts.Sinks...)
+		return nil, runErr
+	}
+	if err := campaign.CloseSinks(runErr, sinks...); err != nil {
 		return nil, err
 	}
 	return agg.Result(), nil
@@ -533,7 +750,7 @@ func (c *Coordinator) runJob(jctx context.Context, j *job, hash string) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			pl, err := c.dispatch(jctx, j.pieces[i], j.pieces[i].index)
+			pl, err := c.place(jctx, j.pieces[i], j.pieces[i].index)
 			if err != nil {
 				failed.CompareAndSwap(nil, &err)
 				j.cancel()

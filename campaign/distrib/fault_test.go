@@ -1,0 +1,455 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/campaign"
+	"repro/client"
+	"repro/internal/cache"
+	"repro/internal/chaos"
+)
+
+// chaosFleet boots n in-process dlsimd nodes whose SDK clients route
+// every request through a chaos.Injector armed with the given rules —
+// the Doer-level harness, no proxy processes needed. All engines share
+// one base seed, offset per node, so a failing run replays exactly.
+func chaosFleet(t *testing.T, n int, store cache.Store, rules [][]chaos.Rule) ([]campaign.Runner, []*chaos.Engine) {
+	t.Helper()
+	_, fleet := newFleet(t, n, store)
+	runners := make([]campaign.Runner, n)
+	engines := make([]*chaos.Engine, n)
+	for i, node := range fleet {
+		eng, err := chaos.NewEngine(uint64(1000+i), rules[i]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := client.New(node.srv.URL,
+			client.WithDoer(&chaos.Injector{Next: node.srv.Client(), Engine: eng}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+		runners[i] = cli
+	}
+	return runners, engines
+}
+
+// TestChaosGoldenByteIdentical is the fault-tolerance acceptance test:
+// a 3-node fleet under injected connection resets, stream truncation,
+// stream corruption and added latency — with PartialResults off — must
+// still produce JSONL and aggregates byte-identical to a single-node
+// run. Every fault knob is scheduling-only; the chaos harness proves
+// it.
+func TestChaosGoldenByteIdentical(t *testing.T) {
+	spec := goldenSpec(campaign.SeedPerCell, 5)
+	wantJSONL, wantRes := localReference(t, spec)
+
+	// FirstN-only fatal faults: deterministic placement and a
+	// guaranteed-finite fault budget, so the retry policy always
+	// converges. Node 1 owns the stream damage (truncate, then corrupt):
+	// a broken merge stream retries on exactly one other node, so
+	// damaging streams on two nodes could make both the stream and its
+	// one retry fail.
+	rules := [][]chaos.Rule{
+		{ // node 0: first two submissions die with ECONNRESET
+			{Name: "reset-submit", Method: "POST", Path: "/v1/jobs", Fault: chaos.FaultReset, FirstN: 2},
+		},
+		{ // node 1: first result stream truncated, second corrupted
+			{Name: "trunc-results", Path: "/results", Fault: chaos.FaultTruncate, FirstN: 1, After: 200},
+			{Name: "corrupt-results", Path: "/results", Fault: chaos.FaultCorrupt, FirstN: 1, After: 64},
+		},
+		{ // node 2: one reset plus sluggish status polls
+			{Name: "reset-submit", Method: "POST", Path: "/v1/jobs", Fault: chaos.FaultReset, FirstN: 1},
+			{Name: "slow-wait", Method: "GET", Path: "/v1/jobs", Fault: chaos.FaultLatency, FirstN: 3,
+				Latency: chaos.Duration(5 * time.Millisecond)},
+		},
+	}
+	nodes, engines := chaosFleet(t, 3, cache.NewMemory(), rules)
+	coord, err := New(nodes, Options{
+		Shards: 7, Attempts: 5,
+		Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+		BreakerThreshold: 10, // faults are finite; keep the golden test about bytes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var buf bytes.Buffer
+	res, err := campaign.Execute(context.Background(), coord, spec,
+		campaign.ExecOptions{KeepPerRun: true, Sinks: []campaign.Sink{campaign.NewJSONLSink(&buf)}})
+	if err != nil {
+		t.Fatalf("campaign failed under chaos: %v", err)
+	}
+	var injected int64
+	for _, eng := range engines {
+		injected += eng.Injected()
+	}
+	if injected == 0 {
+		t.Fatal("chaos profile never fired; the test proved nothing")
+	}
+	if !bytes.Equal(buf.Bytes(), wantJSONL) {
+		t.Errorf("merged JSONL under chaos differs from single-node run (after %d injected faults)", injected)
+	}
+	if !reflect.DeepEqual(res, wantRes) {
+		t.Errorf("aggregates under chaos differ from single-node run")
+	}
+}
+
+// TestBreakerTransitions pins the state machine with an injected
+// clock: closed → open at threshold, blocked during cooldown, a single
+// half-open probe after it, probe failure re-opens, probe success
+// closes.
+func TestBreakerTransitions(t *testing.T) {
+	now := time.Unix(0, 0)
+	var transitions []string
+	b := newBreaker(3, time.Minute, func(to breakerState) {
+		transitions = append(transitions, to.String())
+	})
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.failure()
+	}
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	b.failure() // third consecutive: trip
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state after threshold = %v, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted traffic inside cooldown")
+	}
+
+	now = now.Add(2 * time.Minute) // cooldown expired
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.release() // probe abandoned without a verdict: slot frees, state holds
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("state after release = %v, want half-open", got)
+	}
+	if !b.allow() {
+		t.Fatal("released probe slot not reusable")
+	}
+	b.failure() // probe failed: re-open immediately
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+
+	now = now.Add(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("second cooldown expiry refused the probe")
+	}
+	b.success()
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+
+	want := []string{"open", "half-open", "open", "half-open", "closed"}
+	if fmt.Sprint(transitions) != fmt.Sprint(want) {
+		t.Errorf("transition sequence %v, want %v", transitions, want)
+	}
+}
+
+// TestBreakerRace hammers one breaker from many goroutines — the
+// concurrent shard traffic shape — and checks invariants under -race:
+// no deadlock, and at most one goroutine ever holds the half-open
+// probe slot.
+func TestBreakerRace(t *testing.T) {
+	b := newBreaker(3, time.Microsecond, nil)
+	var probes atomic.Int64 // concurrently held half-open probe slots
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				pre := b.current()
+				if !b.allow() {
+					continue
+				}
+				if pre != breakerClosed {
+					// We may hold the single probe slot; count holders.
+					if n := probes.Add(1); n > 1 {
+						t.Errorf("%d concurrent half-open probes", n)
+					}
+					probes.Add(-1)
+				}
+				switch (g + i) % 3 {
+				case 0:
+					b.success()
+				case 1:
+					b.failure()
+				default:
+					b.release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.success()
+	if !b.allow() {
+		t.Fatal("breaker wedged after concurrent traffic")
+	}
+}
+
+// vetoNode refuses every offset sub-spec — a node that can only ever
+// complete a campaign's first shard, the deterministic way to strand a
+// suffix.
+type vetoNode struct {
+	campaign.Runner
+}
+
+func (n *vetoNode) Submit(ctx context.Context, spec campaign.Spec) (campaign.Job, error) {
+	if spec.RepOffset > 0 {
+		return campaign.Job{}, errors.New("injected: node refuses offset shards")
+	}
+	return n.Runner.Submit(ctx, spec)
+}
+
+// TestPartialResultsPrefix drives a fleet into unrecoverable failure
+// with PartialResults on: the run must end in a typed *Incomplete that
+// names the missing shard window and the fleet's condition, while the
+// sinks hold the byte-identical completed prefix.
+func TestPartialResultsPrefix(t *testing.T) {
+	spec := goldenSpec(campaign.SeedPerCell, 10)
+	spec.Techniques = []string{"FAC2"}
+	spec.Ns = []int64{128} // one grid point: shards split along replications
+	wantJSONL, _ := localReference(t, spec)
+	prefix := firstLines(t, wantJSONL, 5)
+
+	runners, _ := newFleet(t, 2, cache.NewMemory())
+	nodes := []campaign.Runner{&vetoNode{runners[0]}, &vetoNode{runners[1]}}
+	coord, err := New(nodes, Options{
+		Shards: 2, Attempts: 2, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		PartialResults: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var buf bytes.Buffer
+	res, err := campaign.Execute(context.Background(), coord, spec,
+		campaign.ExecOptions{Sinks: []campaign.Sink{campaign.NewJSONLSink(&buf)}})
+	if err == nil || res != nil {
+		t.Fatalf("degraded run returned (%v, %v), want typed error and nil result", res, err)
+	}
+	var inc *Incomplete
+	if !errors.As(err, &inc) {
+		t.Fatalf("error %v does not carry *Incomplete", err)
+	}
+	if inc.CompletedRuns != 5 || inc.TotalRuns != 10 {
+		t.Errorf("completed %d/%d runs, want 5/10", inc.CompletedRuns, inc.TotalRuns)
+	}
+	if len(inc.Missing) != 1 {
+		t.Fatalf("missing = %+v, want exactly the second shard", inc.Missing)
+	}
+	m := inc.Missing[0]
+	if m.Shard != 1 || m.Point != 0 || m.RepOff != 5 || m.Reps != 5 {
+		t.Errorf("missing window %+v, want shard 1, point 0, reps [5,10)", m)
+	}
+	if !contains(m.Cause, "injected") {
+		t.Errorf("missing cause %q does not name the failure", m.Cause)
+	}
+	if len(inc.Nodes) != 2 {
+		t.Fatalf("node report %+v, want both nodes", inc.Nodes)
+	}
+	for _, nf := range inc.Nodes {
+		if nf.Breaker == "" || !nf.Healthy {
+			t.Errorf("node %d report %+v, want a breaker state and probe-less healthy=true", nf.Node, nf)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), prefix) {
+		t.Errorf("sink holds %d bytes, want the byte-identical 5-run prefix (%d bytes)", buf.Len(), len(prefix))
+	}
+}
+
+// slowNode blocks every submission until its context dies — a straggler
+// that never finishes, the shape hedging exists for.
+type slowNode struct {
+	campaign.Runner
+	submits atomic.Int64
+}
+
+func (n *slowNode) Submit(ctx context.Context, spec campaign.Spec) (campaign.Job, error) {
+	n.submits.Add(1)
+	<-ctx.Done()
+	return campaign.Job{}, ctx.Err()
+}
+
+// TestHedgedShardWins points a campaign's only shard at a node that
+// never answers: after HedgeAfter the coordinator must speculatively
+// re-dispatch on the second node, take its result, cancel the
+// straggler, and count both the hedge and its win.
+func TestHedgedShardWins(t *testing.T) {
+	spec := goldenSpec(campaign.SeedPerCell, 3)
+	spec.Techniques = []string{"FAC2"}
+	spec.Ns = []int64{128}
+	wantJSONL, _ := localReference(t, spec)
+
+	runners, _ := newFleet(t, 2, cache.NewMemory())
+	nodes := []campaign.Runner{&slowNode{Runner: runners[0]}, runners[1]}
+	coord, err := New(nodes, Options{
+		Shards: 1, HedgeAfter: 10 * time.Millisecond,
+		CleanupTimeout: 20 * time.Millisecond, // the straggler blocks cleanup RPCs too
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := campaign.Execute(context.Background(), coord, spec,
+		campaign.ExecOptions{Sinks: []campaign.Sink{campaign.NewJSONLSink(&buf)}}); err != nil {
+		t.Fatalf("hedged campaign failed: %v", err)
+	}
+	if err := coord.Close(); err != nil { // waits out the cancelled straggler's cleanup
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), wantJSONL) {
+		t.Error("hedged result differs from single-node run")
+	}
+	if got := coord.mHedges.Value(); got != 1 {
+		t.Errorf("hedges counter = %d, want 1", got)
+	}
+	if got := coord.mHedgeWins.Value(); got != 1 {
+		t.Errorf("hedge wins counter = %d, want 1", got)
+	}
+	if nodes[0].(*slowNode).submits.Load() == 0 {
+		t.Error("straggler node never saw the primary dispatch")
+	}
+}
+
+// healthNode gives a real node a controllable GET /v1/health surface
+// and counts the submissions that reach it.
+type healthNode struct {
+	campaign.Runner
+	submits atomic.Int64
+	health  func() (campaign.Health, error)
+}
+
+func (n *healthNode) Submit(ctx context.Context, spec campaign.Spec) (campaign.Job, error) {
+	n.submits.Add(1)
+	return n.Runner.Submit(ctx, spec)
+}
+
+func (n *healthNode) Health(context.Context) (campaign.Health, error) { return n.health() }
+
+// TestHealthPoolRoutesAroundDrain starts the background prober against
+// a two-node fleet where one node advertises drain: the pool must stop
+// placing shards there, and the campaign completes bit-identically on
+// the survivor.
+func TestHealthPoolRoutesAroundDrain(t *testing.T) {
+	spec := goldenSpec(campaign.SeedPerCell, 5)
+	wantJSONL, _ := localReference(t, spec)
+
+	runners, _ := newFleet(t, 2, cache.NewMemory())
+	draining := &healthNode{Runner: runners[0], health: func() (campaign.Health, error) {
+		return campaign.Health{Ok: true, Ready: false, Draining: true}, nil
+	}}
+	healthy := &healthNode{Runner: runners[1], health: func() (campaign.Health, error) {
+		return campaign.Health{Ok: true, Ready: true}, nil
+	}}
+	coord, err := New([]campaign.Runner{draining, healthy},
+		Options{Shards: 4, HealthInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	waitFor(t, "prober to observe the drain", func() bool {
+		return !coord.states[0].available()
+	})
+	var buf bytes.Buffer
+	if _, err := campaign.Execute(context.Background(), coord, spec,
+		campaign.ExecOptions{Sinks: []campaign.Sink{campaign.NewJSONLSink(&buf)}}); err != nil {
+		t.Fatalf("campaign failed on the surviving node: %v", err)
+	}
+	if got := draining.submits.Load(); got != 0 {
+		t.Errorf("draining node received %d submissions, want 0", got)
+	}
+	if !bytes.Equal(buf.Bytes(), wantJSONL) {
+		t.Error("single-survivor result differs from reference")
+	}
+}
+
+// TestHealthProbeOpensDeadNodeBreaker: a node whose health endpoint
+// errors must be marked down and its breaker opened by probes alone —
+// no shard traffic required — with the failures visible on the probe
+// and transition counters.
+func TestHealthProbeOpensDeadNodeBreaker(t *testing.T) {
+	runners, _ := newFleet(t, 1, cache.NewMemory())
+	dead := &healthNode{Runner: runners[0], health: func() (campaign.Health, error) {
+		return campaign.Health{}, errors.New("connection refused (injected)")
+	}}
+	coord, err := New([]campaign.Runner{dead},
+		Options{HealthInterval: 2 * time.Millisecond, BreakerThreshold: 3, BreakerCooldown: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	waitFor(t, "probe failures to open the breaker", func() bool {
+		return coord.brs[0].current() == breakerOpen
+	})
+	if coord.states[0].available() {
+		t.Error("dead node still marked available")
+	}
+	if got := coord.mProbeFails.Value(); got < 3 {
+		t.Errorf("probe failure counter = %d, want >= threshold", got)
+	}
+	if got := coord.mTransitions.With("0", "open").Value(); got < 1 {
+		t.Errorf("breaker open-transition counter = %d, want >= 1", got)
+	}
+	if _, ok := coord.pick(0); ok {
+		t.Error("pick placed a shard on the only (dead, breaker-open) node")
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func firstLines(t *testing.T, b []byte, n int) []byte {
+	t.Helper()
+	off := 0
+	for i := 0; i < n; i++ {
+		j := bytes.IndexByte(b[off:], '\n')
+		if j < 0 {
+			t.Fatalf("reference stream has fewer than %d lines", n)
+		}
+		off += j + 1
+	}
+	return b[:off]
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

@@ -55,6 +55,10 @@ func TestAPISurfaceSnapshot(t *testing.T) {
 		"ErrorBody": "Code string json=code; Message string json=message; " +
 			"Details map[string]interface {} json=details,omitempty",
 		"ErrorEnvelope": "Error campaign.ErrorBody json=error",
+		"Health": "Ok bool json=ok; Ready bool json=ready; Draining bool json=draining,omitempty; " +
+			"QueueDepth int json=queue_depth; Running int json=running; " +
+			"Journal string json=journal,omitempty; Auth bool json=auth; " +
+			"Service string json=service,omitempty",
 	}
 	types := map[string]reflect.Type{
 		"Spec":           reflect.TypeOf(campaign.Spec{}),
@@ -70,6 +74,7 @@ func TestAPISurfaceSnapshot(t *testing.T) {
 		"Execution":      reflect.TypeOf(campaign.Execution{}),
 		"ErrorBody":      reflect.TypeOf(campaign.ErrorBody{}),
 		"ErrorEnvelope":  reflect.TypeOf(campaign.ErrorEnvelope{}),
+		"Health":         reflect.TypeOf(campaign.Health{}),
 	}
 	for name, typ := range types {
 		want, ok := snap[name]

@@ -26,7 +26,7 @@ func TestWithAPIKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Health(context.Background()); err != nil {
+	if err := c.Live(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if h, _ := got.Load().(string); h != "Bearer s3cret" {
@@ -52,7 +52,7 @@ func TestAuthSentinels(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Health(context.Background()); !errors.Is(err, tc.want) {
+		if err := c.Live(context.Background()); !errors.Is(err, tc.want) {
 			t.Errorf("status %d: err = %v, want %v", tc.status, err, tc.want)
 		}
 		if got := h.seen.Load(); got != 1 {
@@ -93,7 +93,7 @@ func TestRetryAfterHonored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Health(context.Background()); err != nil {
+	if err := c.Live(context.Background()); err != nil {
 		t.Fatalf("Health across a 429: %v", err)
 	}
 	if seen.Load() != 2 {
@@ -118,7 +118,7 @@ func TestRetryAfterHonored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = c2.Health(context.Background())
+	err = c2.Live(context.Background())
 	if !errors.Is(err, ErrRateLimited) {
 		t.Fatalf("err = %v, want ErrRateLimited", err)
 	}

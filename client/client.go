@@ -24,10 +24,20 @@ import (
 type Client struct {
 	base     string // normalized base URL, no trailing slash
 	hc       *http.Client
+	doer     Doer // transport seam; defaults to hc
 	ua       string
 	apiKey   string
 	opts     Options
 	customHC bool // WithHTTPClient was given; don't tune the transport
+}
+
+// Doer issues one HTTP request — the client's transport seam.
+// *http.Client implements it; tests and the fault-injection harness
+// (internal/chaos.Injector) substitute their own to exercise failure
+// paths without sockets. The client's retry policy operates above the
+// Doer: each retry is one more Do call.
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
 }
 
 var _ campaign.Runner = (*Client)(nil)
@@ -108,6 +118,14 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc; c.customHC = true }
 }
 
+// WithDoer installs the transport used for every request, below the
+// retry policy: fault injectors, instrumentation, or any wrapper around
+// a real *http.Client. Takes precedence over WithHTTPClient for issuing
+// requests.
+func WithDoer(d Doer) Option {
+	return func(c *Client) { c.doer = d }
+}
+
 // WithUserAgent sets the User-Agent header sent with every request.
 func WithUserAgent(ua string) Option { return func(c *Client) { c.ua = ua } }
 
@@ -147,6 +165,9 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 			tr.MaxIdleConns = c.opts.MaxIdleConnsPerHost
 		}
 		c.hc = &http.Client{Transport: tr}
+	}
+	if c.doer == nil {
+		c.doer = c.hc
 	}
 	return c, nil
 }
@@ -320,7 +341,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, query url.Valu
 	if accept != "" {
 		req.Header.Set("Accept", accept)
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.doer.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
@@ -556,11 +577,46 @@ func (c *Client) Backends(ctx context.Context) ([]string, error) {
 	return out.Backends, err
 }
 
-// Health checks the liveness probe: GET /healthz.
-func (c *Client) Health(ctx context.Context) error {
+// Live checks the liveness probe: GET /healthz. It answers "is the
+// process up" only — a draining node is still live. Goes through the
+// client's normal timeout and retry policy.
+func (c *Client) Live(ctx context.Context) error {
 	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, "application/json", true)
 	if err != nil {
 		return err
 	}
 	return drainClose(resp.Body)
+}
+
+// Health fetches the node's readiness document: GET /v1/health. A
+// draining node answers HTTP 503 but still serves the document, so the
+// call succeeds with Ready=false — the node is alive, just not a
+// placement target. Any other failure (transport error, non-health
+// response) is an error.
+//
+// Health probes are deliberately exempt from the retry policy: exactly
+// one attempt per call, regardless of Options.Retry. Probes are cheap
+// and frequent, and retrying them would mask exactly the consecutive-
+// failure signal circuit breakers key on.
+func (c *Client) Health(ctx context.Context) (campaign.Health, error) {
+	resp, err := c.doOnce(ctx, http.MethodGet, "/v1/health", nil, nil, "application/json", true)
+	if err != nil {
+		// A draining node's 503 carries the health document in the error
+		// body doOnce could not fit into the envelope; re-fetch semantics
+		// are simpler: decode the raw message as a Health document.
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable {
+			var h campaign.Health
+			if jsonErr := json.Unmarshal([]byte(apiErr.Message), &h); jsonErr == nil && h.Ok {
+				return h, nil
+			}
+		}
+		return campaign.Health{}, err
+	}
+	defer drainClose(resp.Body)
+	var h campaign.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return campaign.Health{}, fmt.Errorf("client: decode /v1/health response: %w", err)
+	}
+	return h, nil
 }

@@ -329,8 +329,15 @@ func TestDiscoveryPaginationNegotiation(t *testing.T) {
 	if len(techs) == 0 || len(backends) == 0 {
 		t.Fatalf("empty discovery: %d techniques, %d backends", len(techs), len(backends))
 	}
-	if err := c.Health(ctx); err != nil {
+	if err := c.Live(ctx); err != nil {
 		t.Fatal(err)
+	}
+	health, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !health.Ok || !health.Ready || health.Draining || health.Service != "dlsimd" {
+		t.Fatalf("health = %+v, want ok+ready dlsimd", health)
 	}
 
 	// Five distinct jobs, paged two at a time in submission order.

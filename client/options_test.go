@@ -56,7 +56,7 @@ func TestRetryTransient5xx(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Health(context.Background()); err != nil {
+	if err := c.Live(context.Background()); err != nil {
 		t.Fatalf("Health with retries: %v", err)
 	}
 	if got := h.seen.Load(); got != 3 {
@@ -68,7 +68,7 @@ func TestRetryTransient5xx(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := plain.Health(context.Background()); !errors.Is(err, campaign.ErrQueueFull) {
+	if err := plain.Live(context.Background()); !errors.Is(err, campaign.ErrQueueFull) {
 		t.Fatalf("Health without retries = %v, want ErrQueueFull", err)
 	}
 	if got := h.seen.Load(); got != 1 {
@@ -100,7 +100,7 @@ func TestRetryConnectionRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Health(context.Background()); err != nil {
+	if err := c.Live(context.Background()); err != nil {
 		t.Fatalf("Health across server start: %v", err)
 	}
 }
@@ -140,7 +140,7 @@ func TestRetryStopsOnCancel(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	err = c.Health(ctx)
+	err = c.Live(ctx)
 	if err == nil {
 		t.Fatal("Health succeeded against a permanently failing server")
 	}

@@ -1,0 +1,101 @@
+// Command chaosproxy is a fault-injecting reverse proxy for dlsimd
+// fleet testing. It sits between a fleet client (dlsim -servers) and a
+// real dlsimd node, and injects deterministic, seed-reproducible
+// faults — connection resets, added latency, 5xx error envelopes,
+// truncated or corrupted response streams, and blackholes — according
+// to a JSON rules file (see internal/chaos for the rule schema).
+//
+// Usage:
+//
+//	chaosproxy -addr :19090 -target http://127.0.0.1:18080 \
+//	    -seed 42 -rules faults.json
+//
+// A rules file is a JSON array of rule objects:
+//
+//	[
+//	  {"name": "flaky-submit", "method": "POST", "path": "/v1/jobs",
+//	   "fault": "error", "p": 0.2},
+//	  {"name": "slow-stream", "path": "/results", "fault": "latency",
+//	   "latency": "150ms", "first_n": 3}
+//	]
+//
+// Every injected fault is logged to stderr with its rule name, so a CI
+// run can confirm the chaos actually fired. The same seed and request
+// sequence reproduce the same fault placements.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaosproxy: ")
+	cliutil.Exit(run())
+}
+
+func run() error {
+	var (
+		addr  = flag.String("addr", ":19090", "listen address")
+		targ  = flag.String("target", "", "upstream dlsimd base URL (required)")
+		seed  = flag.Uint64("seed", 1, "seed for the deterministic fault stream")
+		rules = flag.String("rules", "", "JSON rules file (required; see package doc)")
+		quiet = flag.Bool("quiet", false, "do not log individual fault injections")
+	)
+	flag.Parse()
+	if *targ == "" || *rules == "" {
+		return cliutil.Usagef("-target and -rules are required")
+	}
+	data, err := os.ReadFile(*rules)
+	if err != nil {
+		return cliutil.Usagef("rules: %v", err)
+	}
+	rs, err := chaos.ParseRules(data)
+	if err != nil {
+		return cliutil.Usagef("rules %s: %v", *rules, err)
+	}
+	eng, err := chaos.NewEngine(*seed, rs...)
+	if err != nil {
+		return cliutil.Usagef("rules %s: %v", *rules, err)
+	}
+	if !*quiet {
+		eng.OnInject = func(rule string, fault chaos.Fault, method, path string) {
+			log.Printf("inject %s (%s) on %s %s", rule, fault, method, path)
+		}
+	}
+	p, err := chaos.NewProxy(*targ, eng)
+	if err != nil {
+		return cliutil.Usagef("target: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           p,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := cliutil.SignalContext(context.Background())
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("proxying %s -> %s with %d rule(s), seed %d", *addr, *targ, len(rs), *seed)
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	case <-ctx.Done():
+	}
+	// Injected faults abort connections on purpose; there is nothing
+	// graceful to drain, so just close.
+	_ = srv.Close()
+	log.Printf("injected %d fault(s): %v", eng.Injected(), eng.Counts())
+	return nil
+}

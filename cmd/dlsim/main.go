@@ -94,6 +94,9 @@ func run(ctx context.Context) error {
 		servers  = flag.String("servers", "", "comma-separated dlsimd base URLs; the campaign is sharded across the fleet and merged bit-identically")
 		shards   = flag.Int("shards", 0, "with -servers: number of shards to split the campaign into (0 = one per node)")
 		shardTO  = flag.Duration("shard-timeout", 0, "with -servers: per-shard attempt deadline before the shard is retried elsewhere (0 = none)")
+		hedge    = flag.Duration("hedge-after", 0, "with -servers: latency budget after which a straggling shard is speculatively re-submitted to a second node, first completion wins (0 = no hedging)")
+		partial  = flag.Bool("partial", false, "with -servers: on unrecoverable node failures keep the completed prefix of results and report the missing shard ranges instead of failing the whole campaign")
+		fleetMet = flag.String("fleet-metrics", "", "with -servers: write the coordinator's fault-tolerance metrics (breaker states, hedges, retries) to this file in Prometheus text format on exit")
 	)
 	flag.Parse()
 
@@ -110,8 +113,8 @@ func run(ctx context.Context) error {
 			return cliutil.Usagef("-cache is the local result store; the server manages its own (drop -cache with -server/-servers)")
 		}
 	}
-	if *servers == "" && (*shards != 0 || *shardTO != 0) {
-		return cliutil.Usagef("-shards and -shard-timeout only apply with -servers")
+	if *servers == "" && (*shards != 0 || *shardTO != 0 || *hedge != 0 || *partial || *fleetMet != "") {
+		return cliutil.Usagef("-shards, -shard-timeout, -hedge-after, -partial and -fleet-metrics only apply with -servers")
 	}
 	store, err := cliutil.OpenStore(*cacheDir)
 	if err != nil {
@@ -124,6 +127,7 @@ func run(ctx context.Context) error {
 	if *servers != "" {
 		runner, closeRunner, err = cliutil.NewFleetRunner(*servers, cliutil.FleetOptions{
 			Shards: *shards, ShardTimeout: *shardTO,
+			HedgeAfter: *hedge, Partial: *partial, MetricsFile: *fleetMet,
 		})
 	} else {
 		runner, closeRunner, err = cliutil.NewRunner(*server, store, *workers)

@@ -9,7 +9,10 @@
 // content-addressed result store, so re-submitting a spec is served
 // with zero backend runs. SIGINT/SIGTERM shut the daemon down
 // gracefully: the listener stops, in-flight jobs are cancelled through
-// their contexts, and the worker pools drain.
+// their contexts, and the worker pools drain. With -drain-jobs the
+// daemon drains first: readiness (GET /v1/health) flips to 503 with
+// draining=true, the queue stops accepting submissions, and active
+// jobs get a bounded window to finish before anything is cancelled.
 //
 // Production hardening is opt-in per subsystem: -journal DIR keeps a
 // durable, checksummed lifecycle journal (terminal jobs and recurring
@@ -48,6 +51,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/campaign"
@@ -87,14 +91,16 @@ func main() {
 
 func run(ctx context.Context) error {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cacheDir = flag.String("cache", "", "content-addressed result store directory (default: in-memory only)")
-		queue    = flag.Int("queue", 64, "bounded submission queue depth")
-		jobsN    = flag.Int("jobs", 1, "campaigns executing concurrently")
-		workers  = flag.Int("workers", envInt("DLSIMD_WORKERS", 0), "concurrent runs per campaign (0 = all CPU cores; env DLSIMD_WORKERS)")
-		chunk    = flag.Int("chunk", envInt("DLSIMD_CHUNK", 0), "replications per work item (0 = auto-size; env DLSIMD_CHUNK; never changes results)")
-		drain    = flag.Duration("drain", 5*time.Second, "graceful shutdown window for in-flight HTTP requests")
-		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheDir  = flag.String("cache", "", "content-addressed result store directory (default: in-memory only)")
+		queue     = flag.Int("queue", 64, "bounded submission queue depth")
+		jobsN     = flag.Int("jobs", 1, "campaigns executing concurrently")
+		workers   = flag.Int("workers", envInt("DLSIMD_WORKERS", 0), "concurrent runs per campaign (0 = all CPU cores; env DLSIMD_WORKERS)")
+		chunk     = flag.Int("chunk", envInt("DLSIMD_CHUNK", 0), "replications per work item (0 = auto-size; env DLSIMD_CHUNK; never changes results)")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful shutdown window for in-flight HTTP requests")
+		drainJobs = flag.Duration("drain-jobs", envDur("DLSIMD_DRAIN_JOBS", 0),
+			"on SIGTERM/SIGINT, stop accepting submissions (health reports draining, /v1/health goes 503) and let running jobs finish for up to this long before cancelling them; 0 cancels immediately (env DLSIMD_DRAIN_JOBS)")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 
 		journalDir = flag.String("journal", envStr("DLSIMD_JOURNAL", ""), "durable job journal directory; enables crash recovery (env DLSIMD_JOURNAL)")
 		authFile   = flag.String("auth", envStr("DLSIMD_AUTH", ""), "API key file of tenant:key lines; enables multi-tenant auth (env DLSIMD_AUTH)")
@@ -142,9 +148,18 @@ func run(ctx context.Context) error {
 	if *metricsOn {
 		m = newDaemonMetrics()
 	}
+	// journalDegraded turns sticky-true on the first append/sync failure
+	// and is reported by /v1/health: the daemon stays available, but
+	// operators can see that crash durability is no longer guaranteed.
+	var journalDegraded atomic.Bool
 	var observers []jobs.Observer
 	if jn != nil {
-		observers = append(observers, journalObserver{jn: jn})
+		observers = append(observers, journalObserver{jn: jn, onErr: func(error) {
+			journalDegraded.Store(true)
+			if m != nil {
+				m.journalErrors.Inc()
+			}
+		}})
 	}
 	if m != nil {
 		observers = append(observers, m)
@@ -218,6 +233,16 @@ func run(ctx context.Context) error {
 		Concurrency: effJobs,
 	})
 	svc.SetScheduler(sched)
+	hasJournal, hasAuth := jn != nil, *authFile != ""
+	svc.SetHealthHook(func(h *campaign.Health) {
+		if hasJournal {
+			h.Journal = "ok"
+			if journalDegraded.Load() {
+				h.Journal = "degraded"
+			}
+		}
+		h.Auth = hasAuth
+	})
 	api := svc.Handler()
 
 	// Middleware chain over the /v1 surface, outermost first: metrics
@@ -303,6 +328,26 @@ func run(ctx context.Context) error {
 		// Listener failed before any signal (bad address, port in use).
 		return err
 	case <-ctx.Done():
+	}
+
+	if *drainJobs > 0 {
+		// Drain before teardown: readiness flips (GET /v1/health turns
+		// 503 with draining=true, steering pools and load balancers
+		// away), the queue refuses new submissions, and running plus
+		// already-queued jobs get up to the window to finish — during
+		// which the HTTP server still serves status reads and result
+		// streams. Jobs still live when the window closes fall through
+		// to the usual cancellation below.
+		log.Printf("draining: refusing new submissions, waiting up to %v for active jobs", *drainJobs)
+		svc.SetDraining(true)
+		mgr.Drain()
+		wctx, wcancel := context.WithTimeout(context.Background(), *drainJobs)
+		if err := mgr.WaitIdle(wctx); err != nil {
+			log.Print("drain window expired; cancelling remaining jobs")
+		} else {
+			log.Print("drained: all jobs terminal")
+		}
+		wcancel()
 	}
 
 	log.Print("shutting down: draining HTTP, cancelling in-flight jobs")

@@ -43,6 +43,20 @@ func envFloat(name string, fallback float64) float64 {
 	return f
 }
 
+// envDur reads a duration default from the environment; the flag wins.
+func envDur(name string, fallback time.Duration) time.Duration {
+	v, ok := os.LookupEnv(name)
+	if !ok {
+		return fallback
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		log.Printf("ignoring %s=%q: %v", name, v, err)
+		return fallback
+	}
+	return d
+}
+
 // envBool reads a boolean default from the environment; the flag wins.
 func envBool(name string, fallback bool) bool {
 	v, ok := os.LookupEnv(name)
@@ -64,12 +78,13 @@ func envBool(name string, fallback bool) bool {
 type daemonMetrics struct {
 	reg *telemetry.Registry
 
-	httpRequests *telemetry.CounterVec   // route, status
-	httpLatency  *telemetry.HistogramVec // route
-	jobDuration  *telemetry.Histogram
-	authRejected *telemetry.Counter
-	rateLimited  *telemetry.Counter
-	quotaDenied  *telemetry.Counter
+	httpRequests  *telemetry.CounterVec   // route, status
+	httpLatency   *telemetry.HistogramVec // route
+	jobDuration   *telemetry.Histogram
+	authRejected  *telemetry.Counter
+	rateLimited   *telemetry.Counter
+	quotaDenied   *telemetry.Counter
+	journalErrors *telemetry.Counter
 }
 
 func newDaemonMetrics() *daemonMetrics {
@@ -90,6 +105,8 @@ func newDaemonMetrics() *daemonMetrics {
 			"Requests rejected by the per-tenant rate limiter."),
 		quotaDenied: reg.Counter("dlsimd_quota_rejections_total",
 			"Submissions rejected by a per-tenant quota."),
+		journalErrors: reg.Counter("dlsimd_journal_errors_total",
+			"Journal append or sync failures; non-zero means degraded durability."),
 	}
 }
 
@@ -142,10 +159,17 @@ func (m *daemonMetrics) JobTransition(snap jobs.Snapshot) {
 	}
 }
 
-// journalObserver journals job lifecycle events. Append failures are
-// logged and dropped: a sick disk degrades durability, never
-// availability.
-type journalObserver struct{ jn *journal.Journal }
+// journalObserver journals job lifecycle events. An append failure —
+// including a failed fsync, which internal/journal surfaces rather
+// than swallows — never blocks the job path (a sick disk degrades
+// durability, not availability), but it is not dropped silently
+// either: every failure is logged and reported through onErr, which
+// the daemon wires to the journal-error counter and the /v1/health
+// "degraded" journal state.
+type journalObserver struct {
+	jn    *journal.Journal
+	onErr func(error)
+}
 
 func (o journalObserver) JobSubmitted(spec engine.CampaignSpec, snap jobs.Snapshot) {
 	o.append(journal.Record{
@@ -171,6 +195,9 @@ func (o journalObserver) JobTransition(snap jobs.Snapshot) {
 func (o journalObserver) append(rec journal.Record) {
 	if err := o.jn.Append(rec); err != nil {
 		log.Printf("journal: %v", err)
+		if o.onErr != nil {
+			o.onErr(err)
+		}
 	}
 }
 

@@ -1,0 +1,377 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/campaign"
+)
+
+func TestEngineDeterministicAcrossSeeds(t *testing.T) {
+	mk := func(seed uint64) []bool {
+		e, err := NewEngine(seed, Rule{Fault: FaultReset, P: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			_, out[i] = e.Decide(http.MethodGet, "/v1/jobs/x/results")
+		}
+		return out
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	c := mk(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-draw decision streams")
+	}
+}
+
+func TestEngineFirstNAndMatching(t *testing.T) {
+	e, err := NewEngine(1,
+		Rule{Name: "submit-reset", Method: http.MethodPost, Path: "/v1/jobs", Fault: FaultReset, FirstN: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-matching method and path never fire.
+	if _, ok := e.Decide(http.MethodGet, "/v1/jobs"); ok {
+		t.Fatal("GET matched a POST-only rule")
+	}
+	if _, ok := e.Decide(http.MethodPost, "/v1/health"); ok {
+		t.Fatal("path without substring matched")
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := e.Decide(http.MethodPost, "/v1/jobs"); !ok {
+			t.Fatalf("first_n request %d did not fire", i)
+		}
+	}
+	if _, ok := e.Decide(http.MethodPost, "/v1/jobs"); ok {
+		t.Fatal("fired beyond first_n with p=0")
+	}
+	if got := e.Counts()["submit-reset"]; got != 2 {
+		t.Fatalf("counts = %d, want 2", got)
+	}
+	if got := e.Injected(); got != 2 {
+		t.Fatalf("Injected() = %d, want 2", got)
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	bad := []Rule{
+		{Fault: "explode", P: 1},
+		{Fault: FaultReset, P: 1.5},
+		{Fault: FaultReset},         // can never fire
+		{Fault: FaultLatency, P: 1}, // latency without duration
+		{Fault: FaultTruncate, FirstN: 1, After: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("rule %d validated but should not have", i)
+		}
+	}
+	if err := (Rule{Fault: FaultLatency, P: 0.5, Latency: Duration(time.Millisecond)}).Validate(); err != nil {
+		t.Errorf("good rule rejected: %v", err)
+	}
+}
+
+func TestDurationJSONAndParseRules(t *testing.T) {
+	var r Rule
+	if err := json.Unmarshal([]byte(`{"fault":"latency","p":1,"latency":"150ms"}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(r.Latency) != 150*time.Millisecond {
+		t.Fatalf("latency = %v", time.Duration(r.Latency))
+	}
+	if err := json.Unmarshal([]byte(`{"fault":"latency","p":1,"latency":2}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(r.Latency) != 2*time.Second {
+		t.Fatalf("numeric latency = %v", time.Duration(r.Latency))
+	}
+	out, err := json.Marshal(Duration(time.Second + 500*time.Millisecond))
+	if err != nil || string(out) != `"1.5s"` {
+		t.Fatalf("marshal = %s, %v", out, err)
+	}
+
+	rules, err := ParseRules([]byte(`[{"fault":"reset","p":0.1},{"fault":"error","first_n":3,"path":"/results"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[1].FirstN != 3 {
+		t.Fatalf("rules = %+v", rules)
+	}
+	if _, err := ParseRules([]byte(`[{"fault":"reset","p":0.1,"nope":true}]`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseRules([]byte(`[{"fault":"warp","p":1}]`)); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+}
+
+// doerFunc adapts a function to the Doer seam.
+type doerFunc func(*http.Request) (*http.Response, error)
+
+func (f doerFunc) Do(r *http.Request) (*http.Response, error) { return f(r) }
+
+func okJSON(body string) doerFunc {
+	return func(r *http.Request) (*http.Response, error) {
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Header:     http.Header{"Content-Type": []string{"application/json"}},
+			Body:       io.NopCloser(strings.NewReader(body)),
+			Request:    r,
+		}, nil
+	}
+}
+
+func TestInjectorFaults(t *testing.T) {
+	req := func() *http.Request {
+		return httptest.NewRequest(http.MethodGet, "http://node/v1/jobs/x/results", nil)
+	}
+
+	t.Run("reset", func(t *testing.T) {
+		e, _ := NewEngine(1, Rule{Fault: FaultReset, FirstN: 1})
+		in := &Injector{Next: okJSON("{}"), Engine: e}
+		if _, err := in.Do(req()); err == nil {
+			t.Fatal("reset fault returned a response")
+		}
+	})
+
+	t.Run("error", func(t *testing.T) {
+		e, _ := NewEngine(1, Rule{Fault: FaultError5xx, FirstN: 1})
+		in := &Injector{Next: okJSON("{}"), Engine: e}
+		resp, err := in.Do(req())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var env campaign.ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Error.Code != campaign.CodeInternal {
+			t.Fatalf("code = %q", env.Error.Code)
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		payload := strings.Repeat("x", 64)
+		e, _ := NewEngine(1, Rule{Fault: FaultTruncate, FirstN: 1, After: 10})
+		in := &Injector{Next: okJSON(payload), Engine: e}
+		resp, err := in.Do(req())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, err := io.ReadAll(resp.Body)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("read err = %v, want unexpected EOF", err)
+		}
+		if len(got) != 10 {
+			t.Fatalf("read %d bytes before truncation, want 10", len(got))
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		payload := strings.Repeat("x", 64)
+		e, _ := NewEngine(1, Rule{Fault: FaultCorrupt, FirstN: 1, After: 10})
+		in := &Injector{Next: okJSON(payload), Engine: e}
+		resp, err := in.Do(req())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		got, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(payload) {
+			t.Fatalf("corrupt changed length: %d != %d", len(got), len(payload))
+		}
+		if got[10] != 0x00 {
+			t.Fatalf("byte 10 = %#x, want 0x00", got[10])
+		}
+		for i, b := range got {
+			if i != 10 && b != 'x' {
+				t.Fatalf("byte %d damaged unexpectedly: %#x", i, b)
+			}
+		}
+	})
+
+	t.Run("latency", func(t *testing.T) {
+		e, _ := NewEngine(1, Rule{Fault: FaultLatency, FirstN: 1, Latency: Duration(10 * time.Millisecond)})
+		in := &Injector{Next: okJSON("{}"), Engine: e}
+		start := time.Now()
+		resp, err := in.Do(req())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+			t.Fatalf("latency fault returned after %v", elapsed)
+		}
+	})
+
+	t.Run("passthrough", func(t *testing.T) {
+		e, _ := NewEngine(1, Rule{Fault: FaultReset, FirstN: 1, Path: "/never-matched"})
+		in := &Injector{Next: okJSON(`{"ok":true}`), Engine: e}
+		resp, err := in.Do(req())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if string(body) != `{"ok":true}` {
+			t.Fatalf("body = %q", body)
+		}
+	})
+}
+
+func TestWrapHandlerFaults(t *testing.T) {
+	payload := strings.Repeat("y", 512)
+	backend := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		_, _ = io.WriteString(w, payload)
+	})
+
+	t.Run("error-envelope", func(t *testing.T) {
+		e, _ := NewEngine(1, Rule{Fault: FaultError5xx, FirstN: 1})
+		srv := httptest.NewServer(WrapHandler(backend, e))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/anything")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		// Second request passes through untouched.
+		resp2, err := http.Get(srv.URL + "/anything")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp2.Body.Close()
+		body, _ := io.ReadAll(resp2.Body)
+		if string(body) != payload {
+			t.Fatal("pass-through request damaged")
+		}
+	})
+
+	t.Run("reset", func(t *testing.T) {
+		e, _ := NewEngine(1, Rule{Fault: FaultReset, FirstN: 1})
+		srv := httptest.NewServer(WrapHandler(backend, e))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/anything")
+		if err == nil {
+			resp.Body.Close()
+			t.Fatal("reset fault produced a clean response")
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		e, _ := NewEngine(1, Rule{Fault: FaultTruncate, FirstN: 1, After: 100})
+		srv := httptest.NewServer(WrapHandler(backend, e))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/anything")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err == nil && len(body) == len(payload) {
+			t.Fatal("truncate fault delivered the full body cleanly")
+		}
+		if len(body) > 100 {
+			t.Fatalf("delivered %d bytes, want <= 100", len(body))
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		e, _ := NewEngine(1, Rule{Fault: FaultCorrupt, FirstN: 1, After: 100})
+		srv := httptest.NewServer(WrapHandler(backend, e))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/anything")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(body) != len(payload) || body[100] != 0x00 {
+			t.Fatalf("corrupt: len=%d byte100=%#x", len(body), body[100])
+		}
+	})
+}
+
+func TestProxyForwardsAndInjects(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, `{"path":"`+r.URL.Path+`"}`)
+	}))
+	defer backend.Close()
+
+	e, err := NewEngine(7, Rule{Fault: FaultError5xx, FirstN: 1, Path: "/v1/jobs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProxy(backend.URL, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	// First /v1/jobs request eats the injected 503.
+	resp, err := http.Get(front.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	// Subsequent requests forward transparently.
+	resp2, err := http.Get(front.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if string(body) != `{"path":"/v1/jobs"}` {
+		t.Fatalf("forwarded body = %q", body)
+	}
+	if resp2.Header.Get("Content-Type") != "application/json" {
+		t.Fatal("upstream headers not forwarded")
+	}
+
+	if _, err := NewProxy("not a url at all\x7f", e); err == nil {
+		t.Fatal("bad target accepted")
+	}
+	if _, err := NewProxy("/just/a/path", e); err == nil {
+		t.Fatal("target without host accepted")
+	}
+}

@@ -10,6 +10,7 @@
 package cliutil
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/ascii"
 	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/telemetry"
 )
 
 // Exit codes shared by all commands.
@@ -166,6 +168,18 @@ type FleetOptions struct {
 	ShardTimeout time.Duration
 	// Attempts is the placement attempts per shard (0 = distrib default).
 	Attempts int
+	// HedgeAfter is the straggler budget before a shard is hedged onto
+	// a second node (0 = no hedging).
+	HedgeAfter time.Duration
+	// Partial keeps the completed prefix of results on unrecoverable
+	// failure instead of failing the whole campaign (distrib
+	// PartialResults).
+	Partial bool
+	// MetricsFile, when non-empty, receives the coordinator's
+	// fault-tolerance metrics (breaker states and transitions, hedges,
+	// retries) in Prometheus text format when the runner is cleaned up
+	// — scrapeable offline with cmd/metricscheck.
+	MetricsFile string
 }
 
 // NewFleetRunner builds the distributed coordinator the -servers flag
@@ -191,15 +205,74 @@ func NewFleetRunner(servers string, opts FleetOptions) (campaign.Runner, func(),
 	if len(nodes) == 0 {
 		return nil, nil, Usagef("servers: no base URLs in %q", servers)
 	}
+	var reg *telemetry.Registry
+	if opts.MetricsFile != "" {
+		reg = telemetry.NewRegistry()
+	}
 	coord, err := distrib.New(nodes, distrib.Options{
-		Shards:       opts.Shards,
-		ShardTimeout: opts.ShardTimeout,
-		Attempts:     opts.Attempts,
+		Shards:         opts.Shards,
+		ShardTimeout:   opts.ShardTimeout,
+		Attempts:       opts.Attempts,
+		HedgeAfter:     opts.HedgeAfter,
+		PartialResults: opts.Partial,
+		Registry:       reg,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return coord, func() {}, nil
+	cleanup := func() {
+		_ = coord.Close()
+		if reg == nil {
+			return
+		}
+		if err := writeMetricsFile(opts.MetricsFile, reg); err != nil {
+			log.Printf("fleet metrics: %v", err)
+		} else {
+			log.Printf("wrote fleet metrics to %s", opts.MetricsFile)
+		}
+	}
+	return coord, cleanup, nil
+}
+
+// writeMetricsFile dumps a registry's exposition to path, the offline
+// twin of a /metrics scrape.
+func writeMetricsFile(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	reg.WriteTo(bw)
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReportIncomplete renders a degraded-mode fleet report (distrib
+// PartialResults) for the terminal: what completed, which shard
+// windows are missing and why, and each node's condition. Returns
+// false when err carries no *distrib.Incomplete.
+func ReportIncomplete(err error) bool {
+	var inc *distrib.Incomplete
+	if !errors.As(err, &inc) {
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "\npartial results: %d/%d runs completed; streamed output holds the completed prefix\n",
+		inc.CompletedRuns, inc.TotalRuns)
+	for _, m := range inc.Missing {
+		fmt.Fprintf(os.Stderr, "  missing shard %d: point %d reps [%d,%d): %s\n",
+			m.Shard, m.Point, m.RepOff, m.RepOff+m.Reps, m.Cause)
+	}
+	for _, n := range inc.Nodes {
+		fmt.Fprintf(os.Stderr, "  node %d: breaker %s, healthy=%v, draining=%v", n.Node, n.Breaker, n.Healthy, n.Draining)
+		if n.Cause != "" {
+			fmt.Fprintf(os.Stderr, " (%s)", n.Cause)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	return true
 }
 
 // RunSpecFile executes the declarative campaign spec in the given JSON
@@ -222,6 +295,10 @@ func RunSpecFile(ctx context.Context, path string, r campaign.Runner, sinks []en
 	}
 	res, err := campaign.Run(ctx, r, spec, sinks...)
 	if err != nil {
+		// A degraded-mode fleet run still delivered a usable prefix —
+		// say exactly what is missing before the error decides the exit
+		// code.
+		ReportIncomplete(err)
 		return err
 	}
 	fmt.Printf("campaign %s: %d points × %d replications (backend %s)\n\n",

@@ -59,6 +59,11 @@ var (
 	// is at its queued-job quota — per-tenant backpressure, as opposed
 	// to ErrQueueFull's whole-service backpressure.
 	ErrQuotaExceeded = errors.New("jobs: tenant quota exceeded")
+	// ErrDraining rejects submissions after Drain: the manager is
+	// shutting down gracefully, finishing queued and running work but
+	// accepting nothing new. Distinct from ErrClosed — draining jobs
+	// still complete and their results remain streamable.
+	ErrDraining = errors.New("jobs: draining, not accepting new submissions")
 )
 
 // Observer receives job lifecycle notifications — the hook the durable
@@ -257,15 +262,16 @@ type Manager struct {
 
 	runs atomic.Int64 // runs delivered across all jobs (incl. cached replays)
 
-	mu      sync.Mutex
-	ready   *sync.Cond // signaled on enqueue, quota headroom and Close
-	pending []*Job     // FIFO of queued jobs awaiting a runner
-	closed  bool
-	seq     int
-	jobs    map[string]*Job            // by job ID
-	order   []string                   // insertion order for List
-	active  map[string]*Job            // by spec hash, queued or running only
-	tenants map[string]*tenantCounters // per-tenant quota accounting
+	mu       sync.Mutex
+	ready    *sync.Cond // signaled on enqueue, quota headroom and Close
+	pending  []*Job     // FIFO of queued jobs awaiting a runner
+	closed   bool
+	draining bool
+	seq      int
+	jobs     map[string]*Job            // by job ID
+	order    []string                   // insertion order for List
+	active   map[string]*Job            // by spec hash, queued or running only
+	tenants  map[string]*tenantCounters // per-tenant quota accounting
 }
 
 // tenantCounters tracks one tenant's live jobs for quota enforcement.
@@ -355,6 +361,9 @@ func (m *Manager) SubmitAs(tenant string, spec engine.CampaignSpec) (job *Job, d
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, false, ErrClosed
+	}
+	if m.draining {
+		return nil, false, ErrDraining
 	}
 	if j, ok := m.active[hash]; ok {
 		j.mu.Lock()
@@ -666,6 +675,52 @@ func (m *Manager) Results(ctx context.Context, id string, sinks ...engine.Sink) 
 		Sinks:     sinks,
 	})
 	return err
+}
+
+// Drain flips the manager into graceful-shutdown mode: new submissions
+// fail with ErrDraining while queued and running jobs keep executing to
+// completion. Status, wait and result streaming stay fully available,
+// so clients of in-flight work are never cut off. Irreversible; safe to
+// call more than once.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// WaitIdle blocks until no job is queued or running (or ctx is done) —
+// the "running jobs finish" half of a drain. It does not prevent new
+// submissions; call Drain first so the job population only shrinks.
+func (m *Manager) WaitIdle(ctx context.Context) error {
+	for {
+		var live *Job
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			if !terminal {
+				live = j
+				break
+			}
+		}
+		m.mu.Unlock()
+		if live == nil {
+			return nil
+		}
+		select {
+		case <-live.Done():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // Close stops accepting submissions, cancels queued and running jobs,

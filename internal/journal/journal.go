@@ -90,6 +90,10 @@ var (
 	autoCompactKeep = 512
 )
 
+// syncFile is the fsync behind Append's durability guarantee — a
+// variable so tests can force sync failures without a sick disk.
+var syncFile = func(f *os.File) error { return f.Sync() }
+
 // Journal is an open journal file. All methods are safe for concurrent
 // use.
 type Journal struct {
@@ -217,7 +221,12 @@ func (j *Journal) Append(rec Record) error {
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := syncFile(j.f); err != nil {
+		// A failed fsync means the record's durability is unknown: the
+		// line may or may not survive a crash. Surface it — the caller
+		// (the daemon's journal observer) decides whether to degrade
+		// health, count it, or drop it; silently pretending the append
+		// was durable is the one wrong answer.
 		return fmt.Errorf("journal: sync: %w", err)
 	}
 	j.recs = append(j.recs, rec)

@@ -1,0 +1,52 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A failed fsync must surface to the Append caller — the daemon's
+// observer path decides what to do with it — never be swallowed as a
+// successful durable append.
+func TestAppendSurfacesSyncFailure(t *testing.T) {
+	j, recs, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+
+	boom := errors.New("disk on fire")
+	orig := syncFile
+	syncFile = func(*os.File) error { return boom }
+	defer func() { syncFile = orig }()
+
+	err = j.Append(Record{Kind: KindJob, Time: time.Now(), ID: "j1", Hash: "h"})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Append err = %v, want wrapped sync failure", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "journal: sync") {
+		t.Fatalf("Append err = %v, want journal: sync prefix", err)
+	}
+
+	// The record must not be replayable state either: a failed sync is
+	// an unknown-durability append, so it stays out of the in-memory
+	// sequence a compaction would rewrite as trusted.
+	if got := len(j.Records()); got != 0 {
+		t.Fatalf("failed append left %d in-memory records", got)
+	}
+
+	// With the disk healthy again, appends work.
+	syncFile = orig
+	if err := j.Append(Record{Kind: KindJob, Time: time.Now(), ID: "j2", Hash: "h"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j.Records()); got != 1 {
+		t.Fatalf("records after recovery = %d, want 1", got)
+	}
+}

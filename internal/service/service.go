@@ -14,6 +14,7 @@
 //	GET    /v1/schedules          list the caller's schedules
 //	GET    /v1/schedules/{id}     one schedule's status and tick statistics
 //	DELETE /v1/schedules/{id}     remove a schedule (returns the removed entry)
+//	GET    /v1/health             readiness document (queue depth, drain flag, journal/auth state)
 //	GET    /healthz               liveness probe
 //
 // The /v1/schedules routes exist only when a recurring-campaign
@@ -45,6 +46,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/campaign"
@@ -59,6 +61,9 @@ type Server struct {
 	mgr   *jobs.Manager
 	exec  *campaign.Execution
 	sched *recur.Scheduler
+
+	draining   atomic.Bool
+	healthHook atomic.Pointer[func(*campaign.Health)]
 }
 
 // New returns a server fronting the given manager.
@@ -74,10 +79,22 @@ func (s *Server) SetExecution(e campaign.Execution) { s.exec = &e }
 // it the routes answer 404.
 func (s *Server) SetScheduler(sc *recur.Scheduler) { s.sched = sc }
 
+// SetDraining flips the /v1/health readiness bit. Safe to call while
+// serving — the daemon sets it when graceful shutdown begins, before
+// the listener stops, so probes and coordinators see the node stop
+// being a placement target while running jobs finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// SetHealthHook installs a function that decorates the /v1/health
+// document with daemon-level state the service layer cannot see
+// (journal health, auth configuration). Safe to call while serving.
+func (s *Server) SetHealthHook(fn func(*campaign.Health)) { s.healthHook.Store(&fn) }
+
 // Handler builds the service's route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("GET /v1/health", s.healthV1)
 	mux.HandleFunc("GET /v1", s.describe)
 	mux.HandleFunc("GET /v1/{$}", s.describe)
 	mux.HandleFunc("GET /v1/techniques", s.techniques)
@@ -117,6 +134,35 @@ func writeError(w http.ResponseWriter, status int, code string, details map[stri
 
 func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// healthV1 serves the readiness document. Liveness stays /healthz; this
+// endpoint answers the richer placement question — accepting? draining?
+// how loaded? — for probes and the fleet coordinator's node pool. A
+// draining node answers 503 (so status-code probes flip immediately)
+// but still carries the full JSON document in the body; clients decode
+// it either way.
+func (s *Server) healthV1(w http.ResponseWriter, _ *http.Request) {
+	stats := s.mgr.Stats()
+	h := campaign.Health{
+		Ok:         true,
+		Ready:      true,
+		Service:    "dlsimd",
+		QueueDepth: stats.Queued,
+		Running:    stats.Running,
+	}
+	if s.draining.Load() || s.mgr.Draining() {
+		h.Ready = false
+		h.Draining = true
+	}
+	if fn := s.healthHook.Load(); fn != nil && *fn != nil {
+		(*fn)(&h)
+	}
+	code := http.StatusOK
+	if !h.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 func (s *Server) describe(w http.ResponseWriter, _ *http.Request) {
@@ -160,7 +206,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, jobs.ErrQuotaExceeded):
 		writeError(w, http.StatusForbidden, campaign.CodeQuotaExceeded, nil, "%v", err)
 		return
-	case errors.Is(err, jobs.ErrClosed):
+	case errors.Is(err, jobs.ErrClosed), errors.Is(err, jobs.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, campaign.CodeShuttingDown, nil, "%v", err)
 		return
 	case err != nil:
